@@ -1,0 +1,85 @@
+/// Reproduces **Figure 7**: "Intranode Scaling of mu-kernel without shortcut
+/// optimization on one SuperMUC node" — aggregate MLUP/s of the mu-kernel
+/// with one worker per core, block sizes 40^3 vs 20^3.
+///
+/// Expected shape (paper): near-linear scaling (the kernel is compute
+/// bound, not bandwidth bound); the smaller block is at most slightly
+/// slower. The paper scales 1..16 cores; here up to the machine's cores.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace tpf;
+using namespace tpf::bench;
+using core::MuKernelKind;
+using core::Scenario;
+
+namespace {
+
+/// Aggregate MLUP/s of `threads` workers each sweeping its own block.
+double intranodeMlups(int threads, Int3 blockSize, int iterations) {
+    std::vector<std::unique_ptr<KernelBench>> benches;
+    for (int t = 0; t < threads; ++t) {
+        benches.push_back(
+            std::make_unique<KernelBench>(Scenario::Interface, blockSize));
+        // Prepare phiDst once so the anti-trapping path is active.
+        auto c = benches.back()->ctx();
+        core::runPhiKernel(core::PhiKernelKind::SimdTzStagCut,
+                           *benches.back()->blk, c);
+    }
+
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    double t0 = 0.0, t1 = 0.0;
+
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            auto ctx = benches[static_cast<std::size_t>(t)]->ctx();
+            auto& blk = *benches[static_cast<std::size_t>(t)]->blk;
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) {}
+            for (int i = 0; i < iterations; ++i)
+                core::runMuKernel(MuKernelKind::SimdTzStag, blk, ctx);
+        });
+    }
+    while (ready.load() != threads) {}
+    t0 = perf::now();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    t1 = perf::now();
+
+    const double cells = static_cast<double>(blockSize.x) * blockSize.y *
+                         blockSize.z * threads;
+    return cells * iterations / (t1 - t0) / 1e6;
+}
+
+} // namespace
+
+int main() {
+    const int maxCores =
+        static_cast<int>(std::thread::hardware_concurrency());
+    std::printf("== Figure 7: intranode scaling of the mu-kernel "
+                "(no shortcut optimization, one worker per core) ==\n\n");
+
+    Table t({"cores", "40^3 [MLUP/s]", "20^3 [MLUP/s]", "40^3 per-core",
+             "20^3 per-core"});
+    for (int cores = 1; cores <= maxCores; cores *= 2) {
+        const int iters40 = 6;
+        const int iters20 = 40;
+        const double m40 = intranodeMlups(cores, {40, 40, 40}, iters40);
+        const double m20 = intranodeMlups(cores, {20, 20, 20}, iters20);
+        t.addRow({std::to_string(cores), Table::num(m40, 2),
+                  Table::num(m20, 2), Table::num(m40 / cores, 2),
+                  Table::num(m20 / cores, 2)});
+    }
+    t.print();
+
+    std::printf("\nPaper's observation to verify: scaling is close to linear "
+                "(the kernel is bound by in-core execution); the 20^3 block "
+                "performs comparably to 40^3.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+#include "analysis/correlation.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace tpf::analysis {
+
+namespace {
+inline int wrap(int v, int n) { return ((v % n) + n) % n; }
+} // namespace
+
+std::vector<double> twoPointCorrelation(const Field<double>& phi, int phase,
+                                        int axis, int maxShift, int z0,
+                                        int z1) {
+    TPF_ASSERT(axis == 0 || axis == 1, "correlation axis must be x or y");
+    TPF_ASSERT(z0 >= 0 && z1 < phi.nz() && z0 <= z1, "invalid z slab");
+    const int nx = phi.nx(), ny = phi.ny();
+
+    std::vector<double> s2(static_cast<std::size_t>(maxShift) + 1, 0.0);
+    long long samples = 0;
+
+    for (int z = z0; z <= z1; ++z) {
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                const bool a = phi(x, y, z, phase) > 0.5;
+                if (!a) {
+                    ++samples;
+                    continue;
+                }
+                for (int r = 0; r <= maxShift; ++r) {
+                    const int xs = axis == 0 ? wrap(x + r, nx) : x;
+                    const int ys = axis == 1 ? wrap(y + r, ny) : y;
+                    if (phi(xs, ys, z, phase) > 0.5)
+                        s2[static_cast<std::size_t>(r)] += 1.0;
+                }
+                ++samples;
+            }
+        }
+    }
+    const double inv = samples > 0 ? 1.0 / static_cast<double>(samples) : 0.0;
+    for (auto& v : s2) v *= inv;
+    return s2;
+}
+
+double lamellarSpacingEstimate(const std::vector<double>& s2) {
+    // First local minimum then the following local maximum of S2(r): the
+    // maximum position approximates the repeat distance of the lamellae.
+    std::size_t i = 1;
+    while (i + 1 < s2.size() && s2[i] > s2[i + 1]) ++i; // descend
+    std::size_t minPos = i;
+    while (i + 1 < s2.size() && s2[i] <= s2[i + 1]) ++i; // ascend
+    if (i == minPos || i + 1 >= s2.size()) return 0.0;
+    return static_cast<double>(i);
+}
+
+std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
+                                     int z, int maxShift) {
+    const int nx = phi.nx(), ny = phi.ny();
+    const int side = 2 * maxShift + 1;
+    std::vector<double> map(static_cast<std::size_t>(side) * side, 0.0);
+
+    // Precompute the indicator slice.
+    std::vector<char> ind(static_cast<std::size_t>(nx) * ny);
+    for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+            ind[static_cast<std::size_t>(y) * nx + x] =
+                phi(x, y, z, phase) > 0.5 ? 1 : 0;
+
+    for (int dy = -maxShift; dy <= maxShift; ++dy) {
+        for (int dx = -maxShift; dx <= maxShift; ++dx) {
+            long long hits = 0;
+            for (int y = 0; y < ny; ++y) {
+                const int ys = wrap(y + dy, ny);
+                for (int x = 0; x < nx; ++x) {
+                    const int xs = wrap(x + dx, nx);
+                    hits += ind[static_cast<std::size_t>(y) * nx + x] &
+                            ind[static_cast<std::size_t>(ys) * nx + xs];
+                }
+            }
+            map[static_cast<std::size_t>(dy + maxShift) * side +
+                (dx + maxShift)] =
+                static_cast<double>(hits) / (static_cast<double>(nx) * ny);
+        }
+    }
+    return map;
+}
+
+CorrelationPca correlationPca(const std::vector<double>& map, int maxShift) {
+    const int side = 2 * maxShift + 1;
+    TPF_ASSERT(static_cast<int>(map.size()) == side * side,
+               "correlation map size mismatch");
+
+    // Background-subtract (uncorrelated level = fraction^2 ~ far-field value)
+    // and clamp negatives so the weights form a density over lag vectors.
+    const double center = map[static_cast<std::size_t>(maxShift) * side +
+                              maxShift]; // = phase fraction
+    const double background = center * center;
+
+    double w = 0.0;
+    Mat2 M;
+    for (int dy = -maxShift; dy <= maxShift; ++dy) {
+        for (int dx = -maxShift; dx <= maxShift; ++dx) {
+            const double c =
+                map[static_cast<std::size_t>(dy + maxShift) * side +
+                    (dx + maxShift)] -
+                background;
+            if (c <= 0.0) continue;
+            w += c;
+            M += Mat2{static_cast<double>(dx) * dx, static_cast<double>(dx) * dy,
+                      static_cast<double>(dx) * dy, static_cast<double>(dy) * dy} *
+                 c;
+        }
+    }
+    CorrelationPca out;
+    if (w <= 0.0) return out;
+    M = M * (1.0 / w);
+    const auto ev = M.symEigenvalues();
+    out.lambdaMinor = ev[0];
+    out.lambdaMajor = ev[1];
+    out.axisMajor = M.symEigenvector(ev[1]);
+    return out;
+}
+
+} // namespace tpf::analysis

@@ -1,0 +1,46 @@
+#pragma once
+/// \file correlation.h
+/// Two-point correlation of the phase indicator functions and its principal
+/// component analysis — the quantitative microstructure comparison the paper
+/// announces ("a quantitative comparison using Principal Component Analysis
+/// on two-point correlation is in preparation").
+
+#include <vector>
+
+#include "core/sim_block.h"
+#include "util/smallmat.h"
+
+namespace tpf::analysis {
+
+/// 1D two-point (auto)correlation S2(r) of the indicator 1[phi_a > 0.5]
+/// along \p axis (0 = x, 1 = y), averaged over the slab z in [z0, z1], with
+/// periodic wrapping. S2(0) equals the phase fraction; S2(r) -> fraction^2
+/// for uncorrelated distances; oscillations reveal the lamellar spacing.
+std::vector<double> twoPointCorrelation(const Field<double>& phi, int phase,
+                                        int axis, int maxShift, int z0, int z1);
+
+/// Estimate the dominant lamellar spacing from the first non-trivial local
+/// maximum of S2 (returns 0 if none found).
+double lamellarSpacingEstimate(const std::vector<double>& s2);
+
+/// Full 2D autocorrelation map C(dx, dy) for lags |dx|,|dy| <= maxShift in
+/// slice z (periodic). Returned row-major with side (2 maxShift + 1).
+std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
+                                     int z, int maxShift);
+
+/// Principal component analysis of a correlation map: the second-moment
+/// matrix of the (background-subtracted) correlation weights over the lag
+/// vectors. Eigenvalues/axes describe the orientation and anisotropy of the
+/// microstructure (lamellae give a strongly anisotropic ellipse).
+struct CorrelationPca {
+    double lambdaMinor = 0.0; ///< smaller eigenvalue
+    double lambdaMajor = 0.0; ///< larger eigenvalue
+    Vec2 axisMajor{};         ///< unit direction of the larger eigenvalue
+    double anisotropy() const {
+        return lambdaMajor > 0.0 ? lambdaMinor / lambdaMajor : 1.0;
+    }
+};
+
+CorrelationPca correlationPca(const std::vector<double>& map, int maxShift);
+
+} // namespace tpf::analysis

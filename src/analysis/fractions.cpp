@@ -1,0 +1,56 @@
+#include "analysis/fractions.h"
+
+namespace tpf::analysis {
+
+std::array<double, core::N> phaseFractions(const Field<double>& phi) {
+    std::array<double, core::N> sum{};
+    forEachCell(phi.interior(), [&](int x, int y, int z) {
+        for (int a = 0; a < core::N; ++a)
+            sum[static_cast<std::size_t>(a)] += phi(x, y, z, a);
+    });
+    const double inv = 1.0 / static_cast<double>(phi.interior().numCells());
+    for (auto& s : sum) s *= inv;
+    return sum;
+}
+
+std::vector<std::array<double, core::N>> zProfile(const Field<double>& phi) {
+    std::vector<std::array<double, core::N>> prof(
+        static_cast<std::size_t>(phi.nz()));
+    const double inv = 1.0 / (static_cast<double>(phi.nx()) * phi.ny());
+    for (int z = 0; z < phi.nz(); ++z) {
+        std::array<double, core::N> sum{};
+        for (int y = 0; y < phi.ny(); ++y)
+            for (int x = 0; x < phi.nx(); ++x)
+                for (int a = 0; a < core::N; ++a)
+                    sum[static_cast<std::size_t>(a)] += phi(x, y, z, a);
+        for (auto& s : sum) s *= inv;
+        prof[static_cast<std::size_t>(z)] = sum;
+    }
+    return prof;
+}
+
+std::array<double, 3> solidFractionsInSlab(const Field<double>& phi, int z0,
+                                           int z1) {
+    std::array<double, 3> sum{};
+    double total = 0.0;
+    for (int z = z0; z <= z1; ++z)
+        for (int y = 0; y < phi.ny(); ++y)
+            for (int x = 0; x < phi.nx(); ++x)
+                for (int a = 0; a < 3; ++a) {
+                    sum[static_cast<std::size_t>(a)] += phi(x, y, z, a);
+                    total += phi(x, y, z, a);
+                }
+    if (total <= 0.0) return {0.0, 0.0, 0.0};
+    for (auto& s : sum) s /= total;
+    return sum;
+}
+
+int frontZ(const Field<double>& phi) {
+    for (int z = phi.nz() - 1; z >= 0; --z)
+        for (int y = 0; y < phi.ny(); ++y)
+            for (int x = 0; x < phi.nx(); ++x)
+                if (phi(x, y, z, core::LIQ) <= 0.5) return z;
+    return -1;
+}
+
+} // namespace tpf::analysis

@@ -1,0 +1,114 @@
+#include "analysis/lamellae.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace tpf::analysis {
+
+namespace {
+
+/// Union-find with path compression.
+class UnionFind {
+public:
+    explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+    int find(int v) {
+        while (parent_[static_cast<std::size_t>(v)] != v) {
+            parent_[static_cast<std::size_t>(v)] =
+                parent_[static_cast<std::size_t>(
+                    parent_[static_cast<std::size_t>(v)])];
+            v = parent_[static_cast<std::size_t>(v)];
+        }
+        return v;
+    }
+    void unite(int a, int b) {
+        a = find(a);
+        b = find(b);
+        if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+    }
+
+private:
+    std::vector<int> parent_;
+};
+
+inline int wrap(int v, int n) { return ((v % n) + n) % n; }
+
+} // namespace
+
+SliceLabels labelSlice(const Field<double>& phi, int phase, int z) {
+    const int nx = phi.nx(), ny = phi.ny();
+    const int cells = nx * ny;
+
+    std::vector<char> ind(static_cast<std::size_t>(cells));
+    for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+            ind[static_cast<std::size_t>(y) * nx + x] =
+                phi(x, y, z, phase) > 0.5 ? 1 : 0;
+
+    UnionFind uf(cells);
+    for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+            const int i = y * nx + x;
+            if (!ind[static_cast<std::size_t>(i)]) continue;
+            const int xn = wrap(x + 1, nx);
+            const int yn = wrap(y + 1, ny);
+            if (ind[static_cast<std::size_t>(y) * nx + xn])
+                uf.unite(i, y * nx + xn);
+            if (ind[static_cast<std::size_t>(yn) * nx + x])
+                uf.unite(i, yn * nx + x);
+        }
+    }
+
+    SliceLabels out;
+    out.label.assign(static_cast<std::size_t>(cells), -1);
+    std::map<int, int> rootToLabel;
+    for (int i = 0; i < cells; ++i) {
+        if (!ind[static_cast<std::size_t>(i)]) continue;
+        const int root = uf.find(i);
+        auto [it, inserted] =
+            rootToLabel.try_emplace(root, static_cast<int>(rootToLabel.size()));
+        out.label[static_cast<std::size_t>(i)] = it->second;
+    }
+    out.count = static_cast<int>(rootToLabel.size());
+    return out;
+}
+
+LamellaStats analyzeLamellae(const Field<double>& phi, int phase, int z0,
+                             int z1) {
+    LamellaStats st;
+    SliceLabels prev = labelSlice(phi, phase, z0);
+    st.countPerSlice.push_back(prev.count);
+
+    for (int z = z0 + 1; z <= z1; ++z) {
+        SliceLabels cur = labelSlice(phi, phase, z);
+        st.countPerSlice.push_back(cur.count);
+
+        // Overlap relation between components of consecutive slices.
+        std::set<std::pair<int, int>> links;
+        for (std::size_t i = 0; i < cur.label.size(); ++i) {
+            if (prev.label[i] >= 0 && cur.label[i] >= 0)
+                links.insert({prev.label[i], cur.label[i]});
+        }
+        std::vector<int> children(static_cast<std::size_t>(prev.count), 0);
+        std::vector<int> parents(static_cast<std::size_t>(cur.count), 0);
+        for (const auto& [p, c] : links) {
+            ++children[static_cast<std::size_t>(p)];
+            ++parents[static_cast<std::size_t>(c)];
+        }
+        for (int c : children) {
+            if (c == 0) ++st.vanishes;
+            if (c >= 2) ++st.splits;
+        }
+        for (int p : parents) {
+            if (p == 0) ++st.appears;
+            if (p >= 2) ++st.merges;
+        }
+        prev = std::move(cur);
+    }
+    return st;
+}
+
+} // namespace tpf::analysis

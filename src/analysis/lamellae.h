@@ -1,0 +1,38 @@
+#pragma once
+/// \file lamellae.h
+/// Lamella topology analysis: per-slice connected components of each solid
+/// phase (periodic x-y labeling) and split/merge tracking between consecutive
+/// slices — the events the paper highlights in Figures 10/11 ("various splits
+/// and merges of these lamellae can be observed", "brick-like structures that
+/// are connected or form ring-like structures").
+
+#include <vector>
+
+#include "core/sim_block.h"
+
+namespace tpf::analysis {
+
+/// Label the connected components of 1[phi_phase > 0.5] in slice \p z with
+/// 4-connectivity and periodic wrapping. Returns labels (-1 where the
+/// indicator is false) and the number of components.
+struct SliceLabels {
+    std::vector<int> label; ///< nx*ny row-major, -1 outside the phase
+    int count = 0;
+};
+
+SliceLabels labelSlice(const Field<double>& phi, int phase, int z);
+
+/// Lamella statistics per slice and the topological transitions along z.
+struct LamellaStats {
+    std::vector<int> countPerSlice; ///< components per z slice
+    int splits = 0;  ///< component with >= 2 children in the next slice
+    int merges = 0;  ///< component with >= 2 parents in the previous slice
+    int appears = 0; ///< component with no parent
+    int vanishes = 0; ///< component with no child
+};
+
+/// Analyze phase \p phase over slices [z0, z1].
+LamellaStats analyzeLamellae(const Field<double>& phi, int phase, int z0,
+                             int z1);
+
+} // namespace tpf::analysis

@@ -1,0 +1,225 @@
+#include "comm/exchange.h"
+
+#include <chrono>
+
+namespace tpf {
+
+namespace {
+
+std::vector<Int3> makeOffsets(StencilKind k) {
+    std::vector<Int3> out;
+    for (int z = -1; z <= 1; ++z)
+        for (int y = -1; y <= 1; ++y)
+            for (int x = -1; x <= 1; ++x) {
+                const int nnz = (x != 0) + (y != 0) + (z != 0);
+                if (nnz == 0) continue;
+                if (k == StencilKind::D3C7 && nnz > 1) continue;
+                if (k == StencilKind::D3C19 && nnz > 2) continue;
+                out.push_back({x, y, z});
+            }
+    return out;
+}
+
+double now() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+constexpr int kMaxFieldSlots = 8;
+
+} // namespace
+
+const std::vector<Int3>& stencilOffsets(StencilKind k) {
+    static const std::vector<Int3> c7 = makeOffsets(StencilKind::D3C7);
+    static const std::vector<Int3> c19 = makeOffsets(StencilKind::D3C19);
+    static const std::vector<Int3> c27 = makeOffsets(StencilKind::D3C27);
+    switch (k) {
+        case StencilKind::D3C7: return c7;
+        case StencilKind::D3C19: return c19;
+        default: return c27;
+    }
+}
+
+int offsetIndex27(Int3 o) {
+    TPF_ASSERT_DBG(!(o.x == 0 && o.y == 0 && o.z == 0), "zero offset has no index");
+    const int idx = (o.z + 1) * 9 + (o.y + 1) * 3 + (o.x + 1);
+    return idx > 13 ? idx - 1 : idx; // skip the center (index 13)
+}
+
+CellInterval sendRegion(const Field<double>& f, Int3 o) {
+    const int g = f.ghost();
+    auto range = [g](int oc, int n, int& lo, int& hi) {
+        if (oc < 0) {
+            lo = 0;
+            hi = g - 1;
+        } else if (oc > 0) {
+            lo = n - g;
+            hi = n - 1;
+        } else {
+            lo = 0;
+            hi = n - 1;
+        }
+    };
+    CellInterval ci;
+    range(o.x, f.nx(), ci.xMin, ci.xMax);
+    range(o.y, f.ny(), ci.yMin, ci.yMax);
+    range(o.z, f.nz(), ci.zMin, ci.zMax);
+    return ci;
+}
+
+CellInterval ghostRegion(const Field<double>& f, Int3 o) {
+    const int g = f.ghost();
+    auto range = [g](int oc, int n, int& lo, int& hi) {
+        if (oc < 0) {
+            lo = -g;
+            hi = -1;
+        } else if (oc > 0) {
+            lo = n;
+            hi = n + g - 1;
+        } else {
+            lo = 0;
+            hi = n - 1;
+        }
+    };
+    CellInterval ci;
+    range(o.x, f.nx(), ci.xMin, ci.xMax);
+    range(o.y, f.ny(), ci.yMin, ci.yMax);
+    range(o.z, f.nz(), ci.zMin, ci.zMax);
+    return ci;
+}
+
+namespace {
+
+void packRegion(const Field<double>& f, const CellInterval& ci,
+                std::vector<double>& buf) {
+    buf.clear();
+    buf.reserve(static_cast<std::size_t>(ci.numCells()) *
+                static_cast<std::size_t>(f.nf()));
+    forEachCell(ci, [&](int x, int y, int z) {
+        for (int c = 0; c < f.nf(); ++c) buf.push_back(f(x, y, z, c));
+    });
+}
+
+void unpackRegion(Field<double>& f, const CellInterval& ci, const double* buf,
+                  std::size_t count) {
+    TPF_ASSERT(count == static_cast<std::size_t>(ci.numCells()) *
+                            static_cast<std::size_t>(f.nf()),
+               "ghost message size mismatch");
+    std::size_t i = 0;
+    forEachCell(ci, [&](int x, int y, int z) {
+        for (int c = 0; c < f.nf(); ++c) f(x, y, z, c) = buf[i++];
+    });
+}
+
+/// Direct intra-rank copy: src send slab -> dst ghost slab.
+void copyLocal(const Field<double>& src, const CellInterval& from,
+               Field<double>& dst, const CellInterval& to) {
+    TPF_ASSERT_DBG(from.numCells() == to.numCells(), "slab size mismatch");
+    const int dxc = to.xMin - from.xMin;
+    const int dyc = to.yMin - from.yMin;
+    const int dzc = to.zMin - from.zMin;
+    forEachCell(from, [&](int x, int y, int z) {
+        for (int c = 0; c < src.nf(); ++c)
+            dst(x + dxc, y + dyc, z + dzc, c) = src(x, y, z, c);
+    });
+}
+
+} // namespace
+
+GhostExchange::GhostExchange(const BlockForest& bf, vmpi::Comm* comm,
+                             StencilKind stencil, int fieldSlot)
+    : bf_(bf), comm_(comm), stencil_(stencil), fieldSlot_(fieldSlot),
+      myRank_(comm ? comm->rank() : 0) {
+    TPF_ASSERT(fieldSlot >= 0 && fieldSlot < kMaxFieldSlots, "field slot range");
+}
+
+void GhostExchange::registerField(int blockIdx, Field<double>* field) {
+    TPF_ASSERT(field != nullptr, "null field");
+    TPF_ASSERT(field->ghost() == 1, "exchange is implemented for one ghost layer");
+    TPF_ASSERT(bf_.rankOf(blockIdx) == myRank_, "registering a non-local block");
+    blockIdx_.push_back(blockIdx);
+    fields_.push_back(field);
+}
+
+Field<double>* GhostExchange::fieldOf(int blockIdx) const {
+    for (std::size_t i = 0; i < blockIdx_.size(); ++i)
+        if (blockIdx_[i] == blockIdx) return fields_[i];
+    TPF_ASSERT(false, "block not registered");
+    return nullptr;
+}
+
+void GhostExchange::start() {
+    TPF_ASSERT(!inFlight_, "start() called twice without wait()");
+    const double t0 = now();
+    const auto& offsets = stencilOffsets(stencil_);
+
+    recvs_.clear();
+
+    for (std::size_t i = 0; i < blockIdx_.size(); ++i) {
+        const int b = blockIdx_[i];
+        Field<double>& f = *fields_[i];
+
+        for (const Int3& o : offsets) {
+            const auto nb = bf_.neighbor(b, o.x, o.y, o.z);
+            if (!nb) continue; // non-periodic domain boundary: boundary handling
+
+            if (nb->rank == myRank_) {
+                // Intra-rank: copy directly into the neighbor's ghost slab.
+                Field<double>& dst = *fieldOf(nb->block);
+                copyLocal(f, sendRegion(f, o), dst,
+                          ghostRegion(dst, {-o.x, -o.y, -o.z}));
+            } else {
+                // Tag from the receiver's perspective: the neighbor receives
+                // data arriving from direction -o into block nb->block.
+                const int tag =
+                    (nb->block * 27 + offsetIndex27({-o.x, -o.y, -o.z})) *
+                        kMaxFieldSlots +
+                    fieldSlot_;
+                packRegion(f, sendRegion(f, o), packBuffer_);
+                comm_->send(nb->rank, tag, packBuffer_.data(),
+                            packBuffer_.size() * sizeof(double));
+                bytesSent_ += packBuffer_.size() * sizeof(double);
+            }
+        }
+
+        // Post receives for every remote neighbor that will send to us.
+        for (const Int3& o : offsets) {
+            const auto nb = bf_.neighbor(b, o.x, o.y, o.z);
+            if (!nb || nb->rank == myRank_) continue;
+            RemoteRecv rr;
+            rr.blockIdx = b;
+            rr.fromOffset = o;
+            rr.srcRank = nb->rank;
+            rr.tag = (b * 27 + offsetIndex27(o)) * kMaxFieldSlots + fieldSlot_;
+            recvs_.push_back(std::move(rr));
+        }
+    }
+
+    for (auto& rr : recvs_)
+        rr.request = comm_->irecv(rr.srcRank, rr.tag, &rr.buffer);
+
+    inFlight_ = true;
+    startSeconds_ += now() - t0;
+}
+
+void GhostExchange::wait() {
+    TPF_ASSERT(inFlight_, "wait() without start()");
+    const double t0 = now();
+    for (auto& rr : recvs_) {
+        comm_->wait(rr.request);
+        Field<double>& f = *fieldOf(rr.blockIdx);
+        unpackRegion(f, ghostRegion(f, rr.fromOffset),
+                     reinterpret_cast<const double*>(rr.buffer.data()),
+                     rr.buffer.size() / sizeof(double));
+    }
+    recvs_.clear();
+    inFlight_ = false;
+    waitSeconds_ += now() - t0;
+}
+
+void GhostExchange::communicate() {
+    start();
+    wait();
+}
+
+} // namespace tpf

@@ -1,0 +1,86 @@
+#include "core/boundary.h"
+
+#include "util/assert.h"
+
+namespace tpf::core {
+
+namespace {
+
+/// Face descriptors: axis (0..2) and direction (-1 / +1).
+struct FaceDesc {
+    int axis;
+    int dir;
+};
+constexpr FaceDesc kFaces[6] = {{0, -1}, {0, +1}, {1, -1},
+                                {1, +1}, {2, -1}, {2, +1}};
+
+/// Whether block \p blockIdx touches the domain boundary on face \p face.
+bool atDomainBoundary(const BlockForest& bf, int blockIdx, int face) {
+    const Int3 c = bf.blockCoords(blockIdx);
+    const Int3 g = bf.blockGrid();
+    switch (face) {
+        case 0: return c.x == 0;
+        case 1: return c.x == g.x - 1;
+        case 2: return c.y == 0;
+        case 3: return c.y == g.y - 1;
+        case 4: return c.z == 0;
+        default: return c.z == g.z - 1;
+    }
+}
+
+} // namespace
+
+void applyBoundaries(Field<double>& f, const BlockForest& bf, int blockIdx,
+                     const FieldBCs& bc) {
+    TPF_ASSERT(f.ghost() == 1, "boundary handling assumes one ghost layer");
+    const int n[3] = {f.nx(), f.ny(), f.nz()};
+
+    // Extents of the two non-face axes for the staged application: the x pass
+    // covers interior y/z, the y pass x-extended/interior z, the z pass the
+    // fully extended x/y ranges.
+    for (int face = 0; face < 6; ++face) {
+        if (bc.kind[static_cast<std::size_t>(face)] == BCType::None) continue;
+        if (!atDomainBoundary(bf, blockIdx, face)) continue;
+
+        const FaceDesc fd = kFaces[face];
+        const int ghostCoord = fd.dir < 0 ? -1 : n[fd.axis];
+        const int interiorCoord = fd.dir < 0 ? 0 : n[fd.axis] - 1;
+
+        int lo[3], hi[3];
+        for (int a = 0; a < 3; ++a) {
+            const bool extended = a < fd.axis; // staged: earlier axes extended
+            lo[a] = extended ? -1 : 0;
+            hi[a] = extended ? n[a] : n[a] - 1;
+        }
+        lo[fd.axis] = hi[fd.axis] = 0; // replaced per cell below
+
+        const bool dirichlet =
+            bc.kind[static_cast<std::size_t>(face)] == BCType::Dirichlet;
+        const auto& val = bc.value[static_cast<std::size_t>(face)];
+        if (dirichlet)
+            TPF_ASSERT(static_cast<int>(val.size()) == f.nf(),
+                       "Dirichlet value needs one entry per component");
+
+        int idx[3];
+        for (idx[2] = lo[2]; idx[2] <= hi[2]; ++idx[2]) {
+            for (idx[1] = lo[1]; idx[1] <= hi[1]; ++idx[1]) {
+                for (idx[0] = lo[0]; idx[0] <= hi[0]; ++idx[0]) {
+                    int gc[3] = {idx[0], idx[1], idx[2]};
+                    int ic[3] = {idx[0], idx[1], idx[2]};
+                    gc[fd.axis] = ghostCoord;
+                    ic[fd.axis] = interiorCoord;
+                    for (int c = 0; c < f.nf(); ++c) {
+                        const double interior = f(ic[0], ic[1], ic[2], c);
+                        f(gc[0], gc[1], gc[2], c) =
+                            dirichlet
+                                ? 2.0 * val[static_cast<std::size_t>(c)] -
+                                      interior
+                                : interior;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace tpf::core

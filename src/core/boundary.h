@@ -1,0 +1,46 @@
+#pragma once
+/// \file boundary.h
+/// Domain-boundary handling: Dirichlet and Neumann ghost-layer fills for the
+/// non-periodic axes (Figure 2 of the paper: periodic laterally, Neumann at
+/// the solid bottom, Dirichlet at the liquid top).
+///
+/// Application is staged per axis (x over interior y/z, y over x-extended
+/// interior z, z over fully extended x/y) so that edge and corner ghost
+/// regions compose correctly with the periodic exchange — see the discussion
+/// in comm/exchange.h.
+
+#include <array>
+#include <vector>
+
+#include "grid/block_forest.h"
+#include "grid/field.h"
+
+namespace tpf::core {
+
+enum class BCType {
+    None,      ///< periodic axis — handled by the ghost exchange
+    Neumann,   ///< zero gradient: ghost = adjacent interior cell
+    Dirichlet, ///< fixed face value v: ghost = 2 v - interior (face-centered)
+};
+
+/// Boundary configuration of one field: one entry per face in the order
+/// -x, +x, -y, +y, -z, +z; `value` holds the per-component Dirichlet values.
+struct FieldBCs {
+    std::array<BCType, 6> kind{BCType::None, BCType::None, BCType::None,
+                               BCType::None, BCType::None, BCType::None};
+    std::array<std::vector<double>, 6> value{};
+
+    static FieldBCs allNeumann() {
+        FieldBCs b;
+        b.kind.fill(BCType::Neumann);
+        return b;
+    }
+};
+
+/// Apply the configured boundary conditions to the ghost layers of \p f for
+/// the block \p blockIdx of \p bf. Faces interior to the domain (where a
+/// neighbor block exists) are skipped.
+void applyBoundaries(Field<double>& f, const BlockForest& bf, int blockIdx,
+                     const FieldBCs& bc);
+
+} // namespace tpf::core

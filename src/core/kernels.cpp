@@ -1,0 +1,131 @@
+#include "core/kernels.h"
+
+namespace tpf::core {
+
+void runPhiKernel(PhiKernelKind k, SimBlock& b, const StepContext& ctx) {
+    switch (k) {
+        case PhiKernelKind::General: phiSweepGeneral(b, ctx); return;
+        case PhiKernelKind::Basic: phiSweepBasic(b, ctx); return;
+        case PhiKernelKind::ScalarTzStag:
+            phiSweepScalarOpt(b, ctx, /*shortcuts=*/false);
+            return;
+        case PhiKernelKind::ScalarTzStagCut:
+            phiSweepScalarOpt(b, ctx, /*shortcuts=*/true);
+            return;
+        case PhiKernelKind::Simd:
+            phiSweepSimdCellwise(b, ctx, false, false, false);
+            return;
+        case PhiKernelKind::SimdTz:
+            phiSweepSimdCellwise(b, ctx, true, false, false);
+            return;
+        case PhiKernelKind::SimdTzStag:
+            phiSweepSimdCellwise(b, ctx, true, true, false);
+            return;
+        case PhiKernelKind::SimdTzStagCut:
+            phiSweepSimdCellwise(b, ctx, true, true, true);
+            return;
+        case PhiKernelKind::SimdFourCell: phiSweepSimdFourCell(b, ctx); return;
+    }
+    TPF_ASSERT(false, "unknown phi kernel kind");
+}
+
+void runMuKernel(MuKernelKind k, SimBlock& b, const StepContext& ctx,
+                 MuSweepPart part) {
+    switch (k) {
+        case MuKernelKind::General:
+            TPF_ASSERT(part == MuSweepPart::Full,
+                       "General mu kernel supports only full sweeps");
+            muSweepGeneral(b, ctx);
+            return;
+        case MuKernelKind::Basic: muSweepBasic(b, ctx, part); return;
+        case MuKernelKind::ScalarTzStag:
+            muSweepScalarOpt(b, ctx, /*shortcuts=*/false, part);
+            return;
+        case MuKernelKind::ScalarTzStagCut:
+            muSweepScalarOpt(b, ctx, /*shortcuts=*/true, part);
+            return;
+        case MuKernelKind::Simd:
+            muSweepSimdFourCell(b, ctx, false, false, false, part);
+            return;
+        case MuKernelKind::SimdTz:
+            muSweepSimdFourCell(b, ctx, true, false, false, part);
+            return;
+        case MuKernelKind::SimdTzStag:
+            muSweepSimdFourCell(b, ctx, true, true, false, part);
+            return;
+        case MuKernelKind::SimdTzStagCut:
+            muSweepSimdFourCell(b, ctx, true, true, true, part);
+            return;
+    }
+    TPF_ASSERT(false, "unknown mu kernel kind");
+}
+
+std::string kernelName(PhiKernelKind k) {
+    switch (k) {
+        case PhiKernelKind::General: return "general-C";
+        case PhiKernelKind::Basic: return "basic";
+        case PhiKernelKind::ScalarTzStag: return "scalar+Tz+stag";
+        case PhiKernelKind::ScalarTzStagCut: return "scalar+Tz+stag+cut";
+        case PhiKernelKind::Simd: return "simd-cellwise";
+        case PhiKernelKind::SimdTz: return "simd+Tz";
+        case PhiKernelKind::SimdTzStag: return "simd+Tz+stag";
+        case PhiKernelKind::SimdTzStagCut: return "simd+Tz+stag+cut";
+        case PhiKernelKind::SimdFourCell: return "simd-fourcell";
+    }
+    return "?";
+}
+
+std::string kernelName(MuKernelKind k) {
+    switch (k) {
+        case MuKernelKind::General: return "general-C";
+        case MuKernelKind::Basic: return "basic";
+        case MuKernelKind::ScalarTzStag: return "scalar+Tz+stag";
+        case MuKernelKind::ScalarTzStagCut: return "scalar+Tz+stag+cut";
+        case MuKernelKind::Simd: return "simd-fourcell";
+        case MuKernelKind::SimdTz: return "simd+Tz";
+        case MuKernelKind::SimdTzStag: return "simd+Tz+stag";
+        case MuKernelKind::SimdTzStagCut: return "simd+Tz+stag+cut";
+    }
+    return "?";
+}
+
+const std::vector<PhiKernelKind>& allPhiKernels() {
+    static const std::vector<PhiKernelKind> v{
+        PhiKernelKind::General,       PhiKernelKind::Basic,
+        PhiKernelKind::ScalarTzStag,  PhiKernelKind::ScalarTzStagCut,
+        PhiKernelKind::Simd,          PhiKernelKind::SimdTz,
+        PhiKernelKind::SimdTzStag,    PhiKernelKind::SimdTzStagCut,
+        PhiKernelKind::SimdFourCell,
+    };
+    return v;
+}
+
+const std::vector<MuKernelKind>& allMuKernels() {
+    static const std::vector<MuKernelKind> v{
+        MuKernelKind::General,      MuKernelKind::Basic,
+        MuKernelKind::ScalarTzStag, MuKernelKind::ScalarTzStagCut,
+        MuKernelKind::Simd,         MuKernelKind::SimdTz,
+        MuKernelKind::SimdTzStag,   MuKernelKind::SimdTzStagCut,
+    };
+    return v;
+}
+
+bool needsTzCache(PhiKernelKind k) {
+    switch (k) {
+        case PhiKernelKind::General:
+        case PhiKernelKind::Basic:
+        case PhiKernelKind::Simd: return false;
+        default: return true;
+    }
+}
+
+bool needsTzCache(MuKernelKind k) {
+    switch (k) {
+        case MuKernelKind::General:
+        case MuKernelKind::Basic:
+        case MuKernelKind::Simd: return false;
+        default: return true;
+    }
+}
+
+} // namespace tpf::core

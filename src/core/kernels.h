@@ -1,0 +1,103 @@
+#pragma once
+/// \file kernels.h
+/// Registry of all phi / mu kernel implementations and the dispatch API.
+///
+/// The variants reproduce the optimization stages of the paper's Figure 6 and
+/// the vectorization strategies of Figure 5:
+///
+///  phi kernels                          | paper label
+///  -------------------------------------+---------------------------------
+///  General                              | "general purpose C code"
+///  Basic                                | "basic waLBerla implementation"
+///  Simd        (cellwise, no caches)    | "with SIMD intrinsics, single cell"
+///  SimdTz      (+ z-slice cache)        | "with T(z) optimization"
+///  SimdTzStag  (+ staggered buffers)    | "with staggered buffer"
+///  SimdTzStagCut (+ bulk shortcuts)     | "with shortcuts"  [production]
+///  SimdFourCell (four cells at once)    | Figure 5 "four cells"
+///  ScalarTzStag / ScalarTzStagCut       | ablation: all algorithmic
+///                                       | optimizations without SIMD
+///
+///  mu kernels mirror the same stages with four-cell vectorization (the only
+///  viable strategy for the mu-sweep, as in the paper).
+///
+/// All variants are checked for equivalence by tests/test_phi_kernels.cpp and
+/// tests/test_mu_kernels.cpp.
+
+#include <string>
+#include <vector>
+
+#include "core/sim_block.h"
+#include "core/temperature.h"
+
+namespace tpf::core {
+
+enum class PhiKernelKind {
+    General,
+    Basic,
+    ScalarTzStag,
+    ScalarTzStagCut,
+    Simd,
+    SimdTz,
+    SimdTzStag,
+    SimdTzStagCut,
+    SimdFourCell,
+};
+
+enum class MuKernelKind {
+    General,
+    Basic,
+    ScalarTzStag,
+    ScalarTzStagCut,
+    Simd,
+    SimdTz,
+    SimdTzStag,
+    SimdTzStagCut,
+};
+
+/// Which part of the mu-sweep to execute — the split that enables phi
+/// communication hiding (Algorithm 2): the "local" part is everything except
+/// the anti-trapping divergence (only cell-local phi_dst dependencies); the
+/// "neighbor" part subtracts div J_at once the phi_dst ghosts arrived.
+enum class MuSweepPart { Full, LocalOnly, NeighborOnly };
+
+/// Per-step, per-block inputs of a kernel invocation.
+struct StepContext {
+    ModelConsts mc;
+    const TzCache* tz = nullptr;            ///< slice cache (Tz variants)
+    const FrozenTemperature* temp = nullptr; ///< analytic T (non-Tz variants)
+    double time = 0.0;
+    double windowOffset = 0.0;
+};
+
+void runPhiKernel(PhiKernelKind k, SimBlock& b, const StepContext& ctx);
+void runMuKernel(MuKernelKind k, SimBlock& b, const StepContext& ctx,
+                 MuSweepPart part = MuSweepPart::Full);
+
+std::string kernelName(PhiKernelKind k);
+std::string kernelName(MuKernelKind k);
+
+/// All variants, in the Figure-6 progression order.
+const std::vector<PhiKernelKind>& allPhiKernels();
+const std::vector<MuKernelKind>& allMuKernels();
+
+/// True if the variant requires a built TzCache in the context.
+bool needsTzCache(PhiKernelKind k);
+bool needsTzCache(MuKernelKind k);
+
+// --- individual implementations (defined in the phi_kernel_* / mu_kernel_*
+// translation units; prefer runPhiKernel/runMuKernel for dispatch) ---
+void phiSweepGeneral(SimBlock& b, const StepContext& ctx);
+void phiSweepBasic(SimBlock& b, const StepContext& ctx);
+void phiSweepScalarOpt(SimBlock& b, const StepContext& ctx, bool shortcuts);
+void phiSweepSimdCellwise(SimBlock& b, const StepContext& ctx, bool useTz,
+                          bool useStag, bool shortcuts);
+void phiSweepSimdFourCell(SimBlock& b, const StepContext& ctx);
+
+void muSweepGeneral(SimBlock& b, const StepContext& ctx);
+void muSweepBasic(SimBlock& b, const StepContext& ctx, MuSweepPart part);
+void muSweepScalarOpt(SimBlock& b, const StepContext& ctx, bool shortcuts,
+                      MuSweepPart part);
+void muSweepSimdFourCell(SimBlock& b, const StepContext& ctx, bool useTz,
+                         bool useStag, bool shortcuts, MuSweepPart part);
+
+} // namespace tpf::core

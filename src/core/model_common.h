@@ -1,0 +1,268 @@
+#pragma once
+/// \file model_common.h
+/// Cell-level arithmetic of the grand-potential phase-field model, shared by
+/// the scalar kernel variants (the SIMD kernels mirror these expressions
+/// lane-wise). Keeping a single source of truth for each term is what lets
+/// the kernel-equivalence test suite hold the many variants together — the
+/// strategy the paper itself describes ("a regularly running test suite
+/// checks all kernel versions for equivalence").
+///
+/// Model summary (paper eqs. 1–4):
+///   dphi_a/dt = 1/(tau_a eps) * (rhs_a - mean_b rhs_b), projected onto the
+///               Gibbs simplex, with
+///   rhs_a = (T/TE) [ div(da/dgrad phi_a) - da/dphi_a ]
+///           - (T/TE)/eps * domega/dphi_a - dpsi/dphi_a
+///   dmu/dt  = chi^-1 [ div(M grad mu - J_at) - sum_a c_a dh_a/dt
+///                      - (sum_a h_a dxi_a/dT) dT/dt ]
+/// with gradient energy a = eps sum_{a<b} gamma_ab |q_ab|^2,
+/// q_ab = phi_a grad phi_b - phi_b grad phi_a, multi-obstacle potential
+/// omega, Moelans interpolation h_a = phi_a^2 / sum phi^2 and parabolic grand
+/// potentials omega_a(mu, T).
+
+#include "core/params.h"
+#include "core/temperature.h"
+#include "util/fastmath.h"
+#include "util/simplex.h"
+
+namespace tpf::core {
+
+/// Tiny positive threshold below which squared gradient norms are treated as
+/// zero in the anti-trapping current (exact zeros occur in bulk; the
+/// threshold only guards against denormal blow-up in fastInvSqrt).
+inline constexpr double kGradTol = 1e-30;
+
+// ---------------------------------------------------------------------------
+// phi-sweep pieces
+// ---------------------------------------------------------------------------
+
+/// Normal component of da/dgrad(phi) at a staggered face between cells with
+/// phase vectors pL (lower) and pR (upper) along one axis:
+///   flux_a = -2 eps sum_{b != a} gamma_ab phiF_b (phiF_a dphi_b - phiF_b dphi_a)
+/// evaluated with face averages phiF and the face-normal derivative dphi only
+/// (this is what keeps the phi-sweep a D3C7 stencil).
+inline void phiFaceFlux(const ModelConsts& mc, const double* pL, const double* pR,
+                        double* flux) {
+    double pf[N], dp[N];
+    for (int a = 0; a < N; ++a) {
+        pf[a] = 0.5 * (pL[a] + pR[a]);
+        dp[a] = (pR[a] - pL[a]) * mc.invDx;
+    }
+    for (int a = 0; a < N; ++a) {
+        double s = 0.0;
+        for (int b = 0; b < N; ++b) {
+            if (b == a) continue;
+            const double q = pf[a] * dp[b] - pf[b] * dp[a];
+            s += mc.gamma[a][b] * pf[b] * q;
+        }
+        flux[a] = -2.0 * mc.eps * s;
+    }
+}
+
+/// da/dphi_a at the cell center from the cell-centered gradients g[d][a]:
+///   2 eps sum_{b != a} gamma_ab (q_ab . grad phi_b).
+inline void phiGradEnergyDeriv(const ModelConsts& mc, const double* p,
+                               const double g[3][N], double* dadphi) {
+    for (int a = 0; a < N; ++a) {
+        double s = 0.0;
+        for (int b = 0; b < N; ++b) {
+            if (b == a) continue;
+            double dot = 0.0;
+            for (int d = 0; d < 3; ++d)
+                dot += (p[a] * g[d][b] - p[b] * g[d][a]) * g[d][b];
+            s += mc.gamma[a][b] * dot;
+        }
+        dadphi[a] = 2.0 * mc.eps * s;
+    }
+}
+
+/// Multi-obstacle potential derivative:
+///   domega/dphi_a = (16/pi^2) sum_{b != a} gamma_ab phi_b
+///                   + gamma3 sum_{b<c, b,c != a} phi_b phi_c.
+/// The third-order sum is expressed through the total pair sum P and the
+/// phase sum S: sum_{b<c != a} phi_b phi_c = P - phi_a (S - phi_a).
+inline void obstacleDeriv(const ModelConsts& mc, const double* p, double* dom) {
+    const double S = ((p[0] + p[1]) + (p[2] + p[3]));
+    double P = 0.0;
+    for (int a = 0; a < N; ++a)
+        for (int b = a + 1; b < N; ++b) P += p[a] * p[b];
+    for (int a = 0; a < N; ++a) {
+        double s = 0.0;
+        for (int b = 0; b < N; ++b) {
+            if (b == a) continue;
+            s += mc.gamma[a][b] * p[b];
+        }
+        dom[a] = mc.w16 * s + mc.gamma3 * (P - p[a] * (S - p[a]));
+    }
+}
+
+/// Grand potential of phase a at chemical potential mu = (mux, muy) using the
+/// temperature-dependent slice values:
+///   omega_a = -1/2 mu^T Kinv_a mu - mu . xi_a(T) + m_a (T - TE) + b_a.
+inline double grandPotentialAt(const ModelConsts& mc, const SliceThermo& st,
+                               int a, double mux, double muy) {
+    const double quad = 0.5 * (mc.kinvA[a] * mux * mux +
+                               2.0 * mc.kinvB[a] * mux * muy +
+                               mc.kinvD[a] * muy * muy);
+    return -quad - (mux * st.xix[a] + muy * st.xiy[a]) + st.om[a];
+}
+
+/// Driving force dpsi/dphi_a = (2 phi_a / s2) (omega_a - sum_b h_b omega_b)
+/// with the Moelans weights h_b = phi_b^2 / s2. Vanishes identically at
+/// simplex vertices (bulk), which makes the shortcut kernels exact.
+inline void drivingForce(const ModelConsts& mc, const SliceThermo& st,
+                         const double* p, double mux, double muy, double* dpsi) {
+    double om[N], h[N];
+    const double s2 = ((p[0] * p[0] + p[1] * p[1]) + (p[2] * p[2] + p[3] * p[3]));
+    const double invS2 = 1.0 / s2;
+    double omBar = 0.0;
+    for (int a = 0; a < N; ++a) {
+        om[a] = grandPotentialAt(mc, st, a, mux, muy);
+        h[a] = p[a] * p[a] * invS2;
+        omBar += om[a] * h[a];
+    }
+    for (int a = 0; a < N; ++a)
+        dpsi[a] = 2.0 * p[a] * invS2 * (om[a] - omBar);
+}
+
+/// Assemble rhs_a, apply the Lagrange anti-symmetrization and the explicit
+/// Euler update, then project onto the Gibbs simplex. Writes phi(t + dt).
+inline void phiUpdateCell(const ModelConsts& mc, const SliceThermo& st,
+                          const double* p, const double* div,
+                          const double* dadphi, const double* dom,
+                          const double* dpsi, double* out) {
+    double rhs[N];
+    for (int a = 0; a < N; ++a)
+        rhs[a] = st.Tt * (div[a] - dadphi[a]) - st.Tt * mc.invEps * dom[a] -
+                 dpsi[a];
+    const double mean = 0.25 * ((rhs[0] + rhs[1]) + (rhs[2] + rhs[3]));
+    for (int a = 0; a < N; ++a)
+        out[a] = p[a] + mc.dt * mc.invTauEps[a] * (rhs[a] - mean);
+    projectToSimplex4(out[0], out[1], out[2], out[3]);
+}
+
+// ---------------------------------------------------------------------------
+// mu-sweep pieces
+// ---------------------------------------------------------------------------
+
+/// Moelans interpolation weights h_a = phi_a^2 / sum_b phi_b^2.
+inline void moelansWeights(const double* p, double* h) {
+    const double s2 = ((p[0] * p[0] + p[1] * p[1]) + (p[2] * p[2] + p[3] * p[3]));
+    const double invS2 = 1.0 / s2;
+    for (int a = 0; a < N; ++a) h[a] = p[a] * p[a] * invS2;
+}
+
+/// 2x2 symmetric susceptibility chi = sum_a h_a Kinv_a, entries (A, B; B, D).
+inline void susceptibilityAt(const ModelConsts& mc, const double* h, double& A,
+                             double& B, double& D) {
+    A = B = D = 0.0;
+    for (int a = 0; a < N; ++a) {
+        A += h[a] * mc.kinvA[a];
+        B += h[a] * mc.kinvB[a];
+        D += h[a] * mc.kinvD[a];
+    }
+}
+
+/// Gradient flux M(phi, T) grad mu (normal component) at a staggered face.
+/// M = sum_a phiF_a D_a Kinv_a with the face-averaged phase vector.
+inline void muGradFlux(const ModelConsts& mc, const double* pL, const double* pR,
+                       double muLx, double muLy, double muRx, double muRy,
+                       double& Fx, double& Fy) {
+    double mA = 0.0, mB = 0.0, mD = 0.0;
+    for (int a = 0; a < N; ++a) {
+        const double pf = 0.5 * (pL[a] + pR[a]) * mc.Dphase[a];
+        mA += pf * mc.kinvA[a];
+        mB += pf * mc.kinvB[a];
+        mD += pf * mc.kinvD[a];
+    }
+    const double gx = (muRx - muLx) * mc.invDx;
+    const double gy = (muRy - muLy) * mc.invDx;
+    Fx = mA * gx + mB * gy;
+    Fy = mB * gx + mD * gy;
+}
+
+/// Inputs of the anti-trapping current at one staggered face along axis
+/// \p axis: full face gradients of all phases (normal from the face pair,
+/// transverse from averaged central differences — this is what pulls the
+/// diagonal D3C19 neighbors into the mu-sweep).
+struct FaceGradients {
+    double g[3][N]; ///< g[d][a] = d phi_a / d x_d at the face
+};
+
+/// Anti-trapping current normal component at a staggered face (paper eq. 4):
+///   J_at = (pi eps / 4) sum_{a != l} phiF_a h_l / sqrt(phiF_a phiF_l)
+///          * dphi_a/dt * (n_a . n_l) * (c_l(mu) - c_a(mu)) n_a
+/// Returns the (x, y) concentration components of J_at . e_axis.
+inline void antiTrappingFlux(const ModelConsts& mc, const SliceThermo& stL,
+                             const SliceThermo& stR, int axis,
+                             const double* pfL, const double* pfR,
+                             const double* dphidtL, const double* dphidtR,
+                             const FaceGradients& fg, double mufx, double mufy,
+                             double& Jx, double& Jy) {
+    Jx = 0.0;
+    Jy = 0.0;
+
+    double pf[N], dpdt[N];
+    for (int a = 0; a < N; ++a) {
+        pf[a] = 0.5 * (pfL[a] + pfR[a]);
+        dpdt[a] = 0.5 * (dphidtL[a] + dphidtR[a]);
+    }
+
+    // liquid gradient and Moelans weight at the face
+    const double nl2 = fg.g[0][LIQ] * fg.g[0][LIQ] + fg.g[1][LIQ] * fg.g[1][LIQ] +
+                       fg.g[2][LIQ] * fg.g[2][LIQ];
+    if (nl2 <= kGradTol) return;
+    const double invNl = fastInvSqrt(nl2);
+
+    const double s2 =
+        ((pf[0] * pf[0] + pf[1] * pf[1]) + (pf[2] * pf[2] + pf[3] * pf[3]));
+    const double hl = pf[LIQ] * pf[LIQ] / s2;
+    if (hl == 0.0) return;
+
+    // face thermo values: average of the two adjacent slices (exact for the
+    // linear xi(T); x/y faces pass the same slice twice)
+    const double xilx = 0.5 * (stL.xix[LIQ] + stR.xix[LIQ]);
+    const double xily = 0.5 * (stL.xiy[LIQ] + stR.xiy[LIQ]);
+
+    for (int a = 0; a < N; ++a) {
+        if (a == LIQ) continue;
+        const double prod = pf[a] * pf[LIQ];
+        if (prod <= 0.0) continue;
+        const double na2 = fg.g[0][a] * fg.g[0][a] + fg.g[1][a] * fg.g[1][a] +
+                           fg.g[2][a] * fg.g[2][a];
+        if (na2 <= kGradTol) continue;
+        const double invNa = fastInvSqrt(na2);
+
+        const double ndot = (fg.g[0][a] * fg.g[0][LIQ] + fg.g[1][a] * fg.g[1][LIQ] +
+                             fg.g[2][a] * fg.g[2][LIQ]) *
+                            invNa * invNl;
+
+        const double pref = mc.piQuarterEps * pf[a] * hl * fastInvSqrt(prod) *
+                            dpdt[a] * ndot;
+
+        // c_l(mu) - c_a(mu) = (xi_l - xi_a)(T) + (Kinv_l - Kinv_a) mu
+        const double xiax = 0.5 * (stL.xix[a] + stR.xix[a]);
+        const double xiay = 0.5 * (stL.xiy[a] + stR.xiy[a]);
+        const double dKA = mc.kinvA[LIQ] - mc.kinvA[a];
+        const double dKB = mc.kinvB[LIQ] - mc.kinvB[a];
+        const double dKD = mc.kinvD[LIQ] - mc.kinvD[a];
+        const double dcx = (xilx - xiax) + dKA * mufx + dKB * mufy;
+        const double dcy = (xily - xiay) + dKB * mufx + dKD * mufy;
+
+        const double nAxis = fg.g[axis][a] * invNa;
+        Jx += pref * dcx * nAxis;
+        Jy += pref * dcy * nAxis;
+    }
+}
+
+/// Explicit Euler update of mu: solve chi dmu/dt = rhs and advance.
+inline void muUpdateCell(const ModelConsts& mc, double chiA, double chiB,
+                         double chiD, double rhsX, double rhsY, double mux,
+                         double muy, double& outX, double& outY) {
+    const double invDet = 1.0 / (chiA * chiD - chiB * chiB);
+    const double dmux = (chiD * rhsX - chiB * rhsY) * invDet;
+    const double dmuy = (chiA * rhsY - chiB * rhsX) * invDet;
+    outX = mux + mc.dt * dmux;
+    outY = muy + mc.dt * dmuy;
+}
+
+} // namespace tpf::core

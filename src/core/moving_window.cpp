@@ -1,0 +1,56 @@
+#include "core/moving_window.h"
+
+namespace tpf::core {
+
+int localSolidFrontZ(const std::vector<std::unique_ptr<SimBlock>>& blocks) {
+    int front = -1;
+    for (const auto& b : blocks) {
+        const Field<double>& phi = b->phiSrc;
+        for (int z = b->size.z - 1; z >= 0; --z) {
+            bool solid = false;
+            for (int y = 0; y < b->size.y && !solid; ++y)
+                for (int x = 0; x < b->size.x && !solid; ++x)
+                    if (phi(x, y, z, LIQ) <= 0.5) solid = true;
+            if (solid) {
+                front = std::max(front, b->origin.z + z);
+                break;
+            }
+        }
+    }
+    return front;
+}
+
+void shiftDownOneCell(SimBlock& b, const BlockForest& bf,
+                      const thermo::TernarySystem& sys) {
+    const bool topBlock =
+        bf.blockCoords(b.blockIdx).z == bf.blockGrid().z - 1;
+    const Vec2 muE = sys.muEut();
+    const int nz = b.size.z;
+
+    auto shiftField = [&](Field<double>& f, bool isPhi) {
+        for (int z = 0; z < nz; ++z) {
+            const bool fromGhost = (z == nz - 1);
+            for (int y = 0; y < f.ny(); ++y) {
+                for (int x = 0; x < f.nx(); ++x) {
+                    if (fromGhost && topBlock) {
+                        // Fresh melt enters from above.
+                        if (isPhi) {
+                            for (int a = 0; a < N; ++a)
+                                f(x, y, z, a) = (a == LIQ) ? 1.0 : 0.0;
+                        } else {
+                            f(x, y, z, 0) = muE.x;
+                            f(x, y, z, 1) = muE.y;
+                        }
+                    } else {
+                        for (int c = 0; c < f.nf(); ++c)
+                            f(x, y, z, c) = f(x, y, z + 1, c);
+                    }
+                }
+            }
+        }
+    };
+    shiftField(b.phiSrc, true);
+    shiftField(b.muSrc, false);
+}
+
+} // namespace tpf::core

@@ -1,0 +1,32 @@
+#pragma once
+/// \file moving_window.h
+/// Moving-window technique (paper §3.3): the effective domain tracks the
+/// solidification front; solidified material leaves through the bottom, fresh
+/// melt enters at the top, and the accumulated offset feeds the analytic
+/// temperature so the eutectic isotherm stays inside the window.
+
+#include "core/sim_block.h"
+#include "thermo/system.h"
+
+namespace tpf::core {
+
+struct MovingWindowConfig {
+    bool enabled = false;
+    /// Shift whenever the front exceeds this fraction of the global height.
+    double triggerFraction = 0.55;
+    /// Steps between front-position checks.
+    int checkEvery = 10;
+};
+
+/// Highest global z (cell index) of any cell with liquid fraction <= 0.5 in
+/// the local blocks; -1 if none. Reduce with max across ranks.
+int localSolidFrontZ(const std::vector<std::unique_ptr<SimBlock>>& blocks);
+
+/// Shift phiSrc/muSrc of \p b down by one cell in z. The new top interior
+/// slice is taken from the z+1 ghost layer (valid neighbor data after a
+/// ghost exchange); blocks at the global top get fresh liquid at the eutectic
+/// chemical potential instead.
+void shiftDownOneCell(SimBlock& b, const BlockForest& bf,
+                      const thermo::TernarySystem& sys);
+
+} // namespace tpf::core

@@ -1,0 +1,137 @@
+/// \file mu_kernel_ref.cpp
+/// Reference mu-sweep implementations (General: function-pointer dispatch per
+/// cell; Basic: direct calls). The Basic variant also implements the
+/// local/neighbor split used for phi communication hiding (Algorithm 2):
+///   LocalOnly    = gradient flux + source terms (no phi_dst neighbors),
+///   NeighborOnly = subtract div J_at afterwards.
+
+#include "core/kernels.h"
+#include "core/mu_face.h"
+
+namespace tpf::core {
+
+namespace {
+
+struct SliceProvider {
+    const StepContext& ctx;
+    const SimBlock& blk;
+    bool useCache;
+
+    SliceThermo at(int z) const {
+        if (useCache) {
+            TPF_ASSERT(ctx.tz != nullptr, "kernel variant requires a TzCache");
+            return ctx.tz->at(z);
+        }
+        TPF_ASSERT(ctx.temp != nullptr,
+                   "kernel variant requires the analytic temperature");
+        const double T =
+            ctx.temp->atCell(blk.origin.z + z, ctx.time, ctx.windowOffset);
+        return computeSliceThermo(ctx.mc, T);
+    }
+};
+
+using MuFaceFluxFn = void (*)(const ModelConsts&, const Field<double>&,
+                              const Field<double>&, const Field<double>&,
+                              const SliceThermo&, const SliceThermo&, int, int,
+                              int, int, bool, bool, bool, double&, double&);
+
+/// Direct (inlinable) face-flux dispatch.
+struct DirectMuOps {
+    static void face(const ModelConsts& mc, const Field<double>& P,
+                     const Field<double>& Pd, const Field<double>& Mu,
+                     const SliceThermo& stL, const SliceThermo& stR, int axis,
+                     int xL, int yL, int zL, bool gr, bool at, double& Fx,
+                     double& Fy) {
+        muFaceFluxAt(mc, P, Pd, Mu, stL, stR, axis, xL, yL, zL, gr, at,
+                     /*shortcut=*/false, Fx, Fy);
+    }
+};
+
+void generalMuFace(const ModelConsts& mc, const Field<double>& P,
+                   const Field<double>& Pd, const Field<double>& Mu,
+                   const SliceThermo& stL, const SliceThermo& stR, int axis,
+                   int xL, int yL, int zL, bool gr, bool at, bool sc, double& Fx,
+                   double& Fy) {
+    muFaceFluxAt(mc, P, Pd, Mu, stL, stR, axis, xL, yL, zL, gr, at, sc, Fx, Fy);
+}
+
+volatile bool gMuOpsInitialized = false;
+MuFaceFluxFn gMuFace = nullptr;
+
+/// Function-pointer face-flux dispatch — the per-cell indirection of the
+/// original general-purpose code (PACE3D style).
+struct GeneralMuOps {
+    static void face(const ModelConsts& mc, const Field<double>& P,
+                     const Field<double>& Pd, const Field<double>& Mu,
+                     const SliceThermo& stL, const SliceThermo& stR, int axis,
+                     int xL, int yL, int zL, bool gr, bool at, double& Fx,
+                     double& Fy) {
+        if (!gMuOpsInitialized) {
+            gMuFace = &generalMuFace;
+            gMuOpsInitialized = true;
+        }
+        gMuFace(mc, P, Pd, Mu, stL, stR, axis, xL, yL, zL, gr, at, false, Fx,
+                Fy);
+    }
+};
+
+template <typename Ops>
+void muSweepImpl(SimBlock& blk, const StepContext& ctx, bool useCache,
+                 MuSweepPart part) {
+    const ModelConsts& mc = ctx.mc;
+    const Field<double>& P = blk.phiSrc;
+    const Field<double>& Pd = blk.phiDst;
+    const Field<double>& Mu = blk.muSrc;
+    Field<double>& Dst = blk.muDst;
+    const SliceProvider sp{ctx, blk, useCache};
+
+    const bool applyOnDst = part == MuSweepPart::NeighborOnly;
+    const bool gr = part != MuSweepPart::NeighborOnly;
+    const bool at = part != MuSweepPart::LocalOnly;
+
+    for (int z = 0; z < blk.size.z; ++z) {
+        const SliceThermo stM = sp.at(z - 1);
+        const SliceThermo stC = sp.at(z);
+        const SliceThermo stP = sp.at(z + 1);
+        for (int y = 0; y < blk.size.y; ++y) {
+            for (int x = 0; x < blk.size.x; ++x) {
+                // Six staggered face fluxes (lower cell listed first). In
+                // NeighborOnly mode each flux is just -J_at.
+                double fxmX, fxmY, fxpX, fxpY, fymX, fymY, fypX, fypY, fzmX,
+                    fzmY, fzpX, fzpY;
+                Ops::face(mc, P, Pd, Mu, stC, stC, 0, x - 1, y, z, gr, at, fxmX,
+                          fxmY);
+                Ops::face(mc, P, Pd, Mu, stC, stC, 0, x, y, z, gr, at, fxpX,
+                          fxpY);
+                Ops::face(mc, P, Pd, Mu, stC, stC, 1, x, y - 1, z, gr, at, fymX,
+                          fymY);
+                Ops::face(mc, P, Pd, Mu, stC, stC, 1, x, y, z, gr, at, fypX,
+                          fypY);
+                Ops::face(mc, P, Pd, Mu, stM, stC, 2, x, y, z - 1, gr, at, fzmX,
+                          fzmY);
+                Ops::face(mc, P, Pd, Mu, stC, stP, 2, x, y, z, gr, at, fzpX,
+                          fzpY);
+
+                const double divX =
+                    (((fxpX - fxmX) + (fypX - fymX)) + (fzpX - fzmX)) * mc.invDx;
+                const double divY =
+                    (((fxpY - fxmY) + (fypY - fymY)) + (fzpY - fzmY)) * mc.invDx;
+
+                muCellFinish(mc, stC, P, Pd, Mu, Dst, x, y, z, divX, divY,
+                             applyOnDst);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void muSweepGeneral(SimBlock& blk, const StepContext& ctx) {
+    muSweepImpl<GeneralMuOps>(blk, ctx, /*useCache=*/false, MuSweepPart::Full);
+}
+
+void muSweepBasic(SimBlock& blk, const StepContext& ctx, MuSweepPart part) {
+    muSweepImpl<DirectMuOps>(blk, ctx, /*useCache=*/false, part);
+}
+
+} // namespace tpf::core

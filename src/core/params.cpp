@@ -1,0 +1,71 @@
+#include "core/params.h"
+
+namespace tpf::core {
+
+ModelParams ModelParams::defaults() {
+    ModelParams p;
+    for (int a = 0; a < N; ++a) {
+        p.tau[static_cast<std::size_t>(a)] = 1.0;
+        for (int b = 0; b < N; ++b)
+            p.gamma[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+                (a == b) ? 0.0 : 1.0;
+    }
+    return p;
+}
+
+double ModelParams::stableDtEstimate(const thermo::TernarySystem& sys) const {
+    // mu diffusion limit: dt < dx^2 / (6 Deff); phi relaxation limit:
+    // dt < tau eps dx^2 / (12 gamma_max eps) (interfacial terms act like a
+    // Laplacian with coefficient ~2 gamma eps (T/TE)).
+    double gmax = 0.0;
+    for (int a = 0; a < N; ++a)
+        for (int b = 0; b < N; ++b)
+            gmax = std::max(gmax, gamma[static_cast<std::size_t>(a)]
+                                       [static_cast<std::size_t>(b)]);
+    double tmin = tau[0];
+    for (double t : tau) tmin = std::min(tmin, t);
+
+    const double dMu = dx * dx / (6.0 * sys.maxEffectiveDiffusivity());
+    const double dPhi = tmin * dx * dx / (12.0 * gmax);
+    return std::min(dMu, dPhi);
+}
+
+ModelConsts ModelConsts::build(const ModelParams& p,
+                               const thermo::TernarySystem& s) {
+    ModelConsts c;
+    c.dx = p.dx;
+    c.invDx = 1.0 / p.dx;
+    c.halfInvDx = 0.5 / p.dx;
+    c.dt = p.dt;
+    c.invDt = 1.0 / p.dt;
+    c.eps = p.eps;
+    c.invEps = 1.0 / p.eps;
+    c.piQuarterEps = 0.25 * M_PI * p.eps;
+    c.w16 = 16.0 / (M_PI * M_PI);
+    c.gamma3 = p.gammaTriple;
+    c.antitrapping = p.antitrapping;
+
+    for (int a = 0; a < N; ++a) {
+        const auto ai = static_cast<std::size_t>(a);
+        for (int b = 0; b < N; ++b)
+            c.gamma[a][b] = p.gamma[ai][static_cast<std::size_t>(b)];
+        c.invTauEps[a] = 1.0 / (p.tau[ai] * p.eps);
+
+        const auto& ph = s.phase(a);
+        c.kinvA[a] = ph.Kinv.a;
+        c.kinvB[a] = ph.Kinv.b;
+        c.kinvD[a] = ph.Kinv.d;
+        c.Dphase[a] = s.diffusivity(a);
+        c.xi0x[a] = ph.xi0.x;
+        c.xi0y[a] = ph.xi0.y;
+        c.dxidTx[a] = ph.dxidT.x;
+        c.dxidTy[a] = ph.dxidT.y;
+        c.mcoef[a] = ph.m;
+        c.boff[a] = ph.b;
+    }
+    c.TE = s.Teut();
+    c.dTdt = -p.temp.gradient * p.temp.velocity;
+    return c;
+}
+
+} // namespace tpf::core

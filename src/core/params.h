@@ -1,0 +1,89 @@
+#pragma once
+/// \file params.h
+/// Model parameters of the grand-potential phase-field model (eqs. 1–4 of the
+/// paper) and the flattened constant snapshot (`ModelConsts`) handed to the
+/// compute kernels.
+///
+/// The kernels never touch the object-oriented thermo classes on the hot
+/// path: all per-phase constants (K^-1 entries, equilibrium compositions,
+/// slopes, diffusivities, relaxation times) are copied into plain arrays once
+/// per run. This mirrors the paper's specialization step away from the
+/// general-purpose PACE3D code.
+
+#include <array>
+#include <cmath>
+
+#include "thermo/system.h"
+
+namespace tpf::core {
+
+/// Number of order parameters (phases) — fixed at 4 for this model.
+inline constexpr int N = thermo::kNumPhases;
+/// Index of the liquid order parameter.
+inline constexpr int LIQ = thermo::kLiquidPhase;
+/// Number of independent chemical potentials (K - 1 = 2).
+inline constexpr int KC = 2;
+
+/// Frozen-temperature ansatz: T(z, t) = TE + G * (z_phys - zEut0 - v t), with
+/// z_phys measured in cells from the bottom of the *global* domain plus the
+/// accumulated moving-window offset.
+struct TemperatureParams {
+    double TE = 773.6;      ///< eutectic temperature [K]
+    double gradient = 0.05; ///< temperature gradient G [K / cell]
+    double velocity = 0.01; ///< isotherm pulling velocity v [cells / time]
+    double zEut0 = 16.0;    ///< initial position of the eutectic isotherm [cells]
+};
+
+/// User-facing model parameters.
+struct ModelParams {
+    double dx = 1.0;  ///< lattice spacing
+    double dt = 0.01; ///< explicit Euler time step
+    double eps = 4.0; ///< interface width parameter epsilon [cells]
+
+    /// Symmetric surface entropy density matrix gamma_ab (diagonal unused).
+    std::array<std::array<double, N>, N> gamma{};
+    /// Third-order obstacle term coefficient (suppresses spurious third
+    /// phases in two-phase interfaces).
+    double gammaTriple = 10.0;
+    /// Relaxation constants tau_a; the evolution uses 1 / (tau_a * eps).
+    std::array<double, N> tau{};
+
+    bool antitrapping = true;
+
+    TemperatureParams temp;
+
+    /// Defaults tuned for the Ag-Al-Cu setup (stable at dt = 0.01, dx = 1).
+    static ModelParams defaults();
+
+    /// Largest stable dt estimate (von Neumann style bound combining the
+    /// phi relaxation and the mu diffusion limits). The default dt is ~50% of
+    /// this bound.
+    double stableDtEstimate(const thermo::TernarySystem& sys) const;
+};
+
+/// Flattened constants for the kernels (see file comment).
+struct ModelConsts {
+    // numerics
+    double dx = 1, invDx = 1, halfInvDx = 0.5, dt = 0, invDt = 0;
+    double eps = 1, invEps = 1;
+    double piQuarterEps = 0; ///< (pi/4) * eps, anti-trapping prefactor
+    double w16 = 0;          ///< 16 / pi^2, obstacle prefactor
+    double gamma[N][N] = {};
+    double gamma3 = 0;
+    double invTauEps[N] = {};
+    bool antitrapping = true;
+
+    // thermodynamics (Kinv is symmetric: [a b; b d])
+    double kinvA[N] = {}, kinvB[N] = {}, kinvD[N] = {};
+    double Dphase[N] = {};
+    double xi0x[N] = {}, xi0y[N] = {}, dxidTx[N] = {}, dxidTy[N] = {};
+    double mcoef[N] = {}, boff[N] = {};
+    double TE = 1;
+
+    // temperature drive
+    double dTdt = 0; ///< = -G * v (frozen temperature ansatz)
+
+    static ModelConsts build(const ModelParams& p, const thermo::TernarySystem& s);
+};
+
+} // namespace tpf::core

@@ -1,0 +1,145 @@
+/// \file phi_kernel_opt.cpp
+/// Scalar phi-sweep with the full set of algorithmic optimizations of the
+/// paper, minus SIMD (used for the SIMD-contribution ablation):
+///  - T(z) optimization: all temperature-dependent values from the per-slice
+///    cache instead of per-cell recomputation,
+///  - staggered buffering: every face flux of da/dgrad(phi) is computed once
+///    and reused by the neighboring cell (x-carry, y-row and z-plane buffers
+///    of size Nx resp. Nx*Ny — "a buffer of the size Nx x Ny is needed"),
+///  - optional bulk shortcuts: cells whose whole D3C7 neighborhood sits at
+///    the same simplex vertex are copied through (exact, because projection
+///    pins bulk cells at the vertices; see DESIGN.md §5).
+
+#include <vector>
+
+#include "core/kernels.h"
+#include "core/model_common.h"
+
+namespace tpf::core {
+
+namespace {
+
+inline void loadPhi(const Field<double>& f, int x, int y, int z, double* p) {
+    for (int a = 0; a < N; ++a) p[a] = f(x, y, z, a);
+}
+
+/// True if the cell at (x,y,z) and its six face neighbors all equal the same
+/// simplex vertex (pure bulk, exact comparison is intentional).
+inline bool isBulk7(const Field<double>& f, int x, int y, int z) {
+    int phase = -1;
+    for (int a = 0; a < N; ++a) {
+        if (f(x, y, z, a) == 1.0) {
+            phase = a;
+            break;
+        }
+    }
+    if (phase < 0) return false;
+    return f(x - 1, y, z, phase) == 1.0 && f(x + 1, y, z, phase) == 1.0 &&
+           f(x, y - 1, z, phase) == 1.0 && f(x, y + 1, z, phase) == 1.0 &&
+           f(x, y, z - 1, phase) == 1.0 && f(x, y, z + 1, phase) == 1.0;
+}
+
+} // namespace
+
+void phiSweepScalarOpt(SimBlock& blk, const StepContext& ctx, bool shortcuts) {
+    const ModelConsts& mc = ctx.mc;
+    TPF_ASSERT(ctx.tz != nullptr, "ScalarOpt phi kernel requires a TzCache");
+    const Field<double>& P = blk.phiSrc;
+    const Field<double>& Mu = blk.muSrc;
+    Field<double>& Dst = blk.phiDst;
+
+    const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+
+    // Staggered-value buffers: carry (one face), y-row (nx faces), z-plane
+    // (nx*ny faces); each entry holds the N flux components of one face.
+    std::vector<double> rowY(static_cast<std::size_t>(nx) * N);
+    std::vector<double> planeZ(static_cast<std::size_t>(nx) * ny * N);
+    double carryX[N] = {};
+
+    for (int z = 0; z < nz; ++z) {
+        const SliceThermo st = ctx.tz->at(z);
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                double pC[N];
+                loadPhi(P, x, y, z, pC);
+
+                if (shortcuts && isBulk7(P, x, y, z)) {
+                    // Bulk no-op: all staggered fluxes of this cell's upper
+                    // faces are exactly zero (both face cells sit at the same
+                    // vertex), so the buffers are refreshed with zeros.
+                    for (int a = 0; a < N; ++a) {
+                        Dst(x, y, z, a) = pC[a];
+                        carryX[a] = 0.0;
+                        rowY[static_cast<std::size_t>(x) * N +
+                             static_cast<std::size_t>(a)] = 0.0;
+                        planeZ[(static_cast<std::size_t>(y) * nx + x) * N +
+                               static_cast<std::size_t>(a)] = 0.0;
+                    }
+                    continue;
+                }
+
+                double pW[N], pE[N], pS[N], pNn[N], pB[N], pT[N];
+                loadPhi(P, x - 1, y, z, pW);
+                loadPhi(P, x + 1, y, z, pE);
+                loadPhi(P, x, y - 1, z, pS);
+                loadPhi(P, x, y + 1, z, pNn);
+                loadPhi(P, x, y, z - 1, pB);
+                loadPhi(P, x, y, z + 1, pT);
+
+                // Lower faces from the buffers (or explicitly at the block
+                // boundary), upper faces computed and stored.
+                double fxm[N], fxp[N], fym[N], fyp[N], fzm[N], fzp[N];
+                if (x == 0)
+                    phiFaceFlux(mc, pW, pC, fxm);
+                else
+                    for (int a = 0; a < N; ++a) fxm[a] = carryX[a];
+                phiFaceFlux(mc, pC, pE, fxp);
+                for (int a = 0; a < N; ++a) carryX[a] = fxp[a];
+
+                double* ry = rowY.data() + static_cast<std::size_t>(x) * N;
+                if (y == 0)
+                    phiFaceFlux(mc, pS, pC, fym);
+                else
+                    for (int a = 0; a < N; ++a) fym[a] = ry[a];
+                phiFaceFlux(mc, pC, pNn, fyp);
+                for (int a = 0; a < N; ++a) ry[a] = fyp[a];
+
+                double* pz =
+                    planeZ.data() + (static_cast<std::size_t>(y) * nx + x) * N;
+                if (z == 0)
+                    phiFaceFlux(mc, pB, pC, fzm);
+                else
+                    for (int a = 0; a < N; ++a) fzm[a] = pz[a];
+                phiFaceFlux(mc, pC, pT, fzp);
+                for (int a = 0; a < N; ++a) pz[a] = fzp[a];
+
+                double div[N];
+                for (int a = 0; a < N; ++a)
+                    div[a] = (((fxp[a] - fxm[a]) + (fyp[a] - fym[a])) +
+                              (fzp[a] - fzm[a])) *
+                             mc.invDx;
+
+                double g[3][N];
+                for (int a = 0; a < N; ++a) {
+                    g[0][a] = (pE[a] - pW[a]) * mc.halfInvDx;
+                    g[1][a] = (pNn[a] - pS[a]) * mc.halfInvDx;
+                    g[2][a] = (pT[a] - pB[a]) * mc.halfInvDx;
+                }
+                double dadphi[N];
+                phiGradEnergyDeriv(mc, pC, g, dadphi);
+
+                double dom[N];
+                obstacleDeriv(mc, pC, dom);
+
+                double dpsi[N];
+                drivingForce(mc, st, pC, Mu(x, y, z, 0), Mu(x, y, z, 1), dpsi);
+
+                double out[N];
+                phiUpdateCell(mc, st, pC, div, dadphi, dom, dpsi, out);
+                for (int a = 0; a < N; ++a) Dst(x, y, z, a) = out[a];
+            }
+        }
+    }
+}
+
+} // namespace tpf::core

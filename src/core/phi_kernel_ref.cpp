@@ -1,0 +1,208 @@
+/// \file phi_kernel_ref.cpp
+/// Reference phi-sweep implementations:
+///  - phiSweepGeneral: emulates the original general-purpose C code the paper
+///    starts from (PACE3D style): every model term is invoked through a
+///    function pointer per cell, nothing is specialized or cached.
+///  - phiSweepBasic: the "basic waLBerla implementation" — the same math with
+///    direct (inlinable) calls, still recomputing all temperature-dependent
+///    values in every cell.
+/// Both serve as the golden reference for the optimized kernel variants.
+
+#include "core/kernels.h"
+#include "core/model_common.h"
+
+namespace tpf::core {
+
+namespace {
+
+/// Slice-thermo provider: cached (Tz variants) or recomputed per call.
+struct SliceProvider {
+    const StepContext& ctx;
+    const SimBlock& blk;
+    bool useCache;
+
+    SliceThermo at(int z) const {
+        if (useCache) {
+            TPF_ASSERT(ctx.tz != nullptr, "kernel variant requires a TzCache");
+            return ctx.tz->at(z);
+        }
+        TPF_ASSERT(ctx.temp != nullptr,
+                   "kernel variant requires the analytic temperature");
+        const double T =
+            ctx.temp->atCell(blk.origin.z + z, ctx.time, ctx.windowOffset);
+        return computeSliceThermo(ctx.mc, T);
+    }
+};
+
+inline void loadPhi(const Field<double>& f, int x, int y, int z, double* p) {
+    for (int a = 0; a < N; ++a) p[a] = f(x, y, z, a);
+}
+
+/// Direct-call term operations (fully inlinable).
+struct DirectPhiOps {
+    static void faceFlux(const ModelConsts& mc, const double* pL,
+                         const double* pR, double* flux) {
+        phiFaceFlux(mc, pL, pR, flux);
+    }
+    static void gradDeriv(const ModelConsts& mc, const double* p,
+                          const double g[3][N], double* dadphi) {
+        phiGradEnergyDeriv(mc, p, g, dadphi);
+    }
+    static void obstacle(const ModelConsts& mc, const double* p, double* dom) {
+        obstacleDeriv(mc, p, dom);
+    }
+    static void driving(const ModelConsts& mc, const SliceThermo& st,
+                        const double* p, double mux, double muy, double* dpsi) {
+        drivingForce(mc, st, p, mux, muy, dpsi);
+    }
+    static void update(const ModelConsts& mc, const SliceThermo& st,
+                       const double* p, const double* div, const double* dadphi,
+                       const double* dom, const double* dpsi, double* out) {
+        phiUpdateCell(mc, st, p, div, dadphi, dom, dpsi, out);
+    }
+};
+
+/// Function-pointer term operations — the per-cell indirection of the
+/// original general-purpose code. The pointers live in mutable globals of
+/// this translation unit so the compiler cannot devirtualize the calls.
+struct GeneralPhiOps {
+    void (*faceFlux)(const ModelConsts&, const double*, const double*, double*);
+    void (*gradDeriv)(const ModelConsts&, const double*, const double[3][N],
+                      double*);
+    void (*obstacle)(const ModelConsts&, const double*, double*);
+    void (*driving)(const ModelConsts&, const SliceThermo&, const double*,
+                    double, double, double*);
+    void (*update)(const ModelConsts&, const SliceThermo&, const double*,
+                   const double*, const double*, const double*, const double*,
+                   double*);
+};
+
+void generalFaceFlux(const ModelConsts& mc, const double* pL, const double* pR,
+                     double* flux) {
+    phiFaceFlux(mc, pL, pR, flux);
+}
+void generalGradDeriv(const ModelConsts& mc, const double* p,
+                      const double g[3][N], double* dadphi) {
+    phiGradEnergyDeriv(mc, p, g, dadphi);
+}
+void generalObstacle(const ModelConsts& mc, const double* p, double* dom) {
+    obstacleDeriv(mc, p, dom);
+}
+void generalDriving(const ModelConsts& mc, const SliceThermo& st,
+                    const double* p, double mux, double muy, double* dpsi) {
+    drivingForce(mc, st, p, mux, muy, dpsi);
+}
+void generalUpdate(const ModelConsts& mc, const SliceThermo& st, const double* p,
+                   const double* div, const double* dadphi, const double* dom,
+                   const double* dpsi, double* out) {
+    phiUpdateCell(mc, st, p, div, dadphi, dom, dpsi, out);
+}
+
+// Volatile-qualified pointer holder defeats constant propagation of targets.
+volatile bool gOpsInitialized = false;
+GeneralPhiOps gGeneralOps{};
+
+const GeneralPhiOps& generalOps() {
+    if (!gOpsInitialized) {
+        gGeneralOps = {&generalFaceFlux, &generalGradDeriv, &generalObstacle,
+                       &generalDriving, &generalUpdate};
+        gOpsInitialized = true;
+    }
+    return gGeneralOps;
+}
+
+template <typename Ops>
+void phiSweepImpl(SimBlock& blk, const StepContext& ctx, bool useCache,
+                  const Ops& ops) {
+    const ModelConsts& mc = ctx.mc;
+    const Field<double>& P = blk.phiSrc;
+    const Field<double>& Mu = blk.muSrc;
+    Field<double>& Dst = blk.phiDst;
+    const SliceProvider sp{ctx, blk, useCache};
+
+    for (int z = 0; z < blk.size.z; ++z) {
+        const SliceThermo st = sp.at(z);
+        for (int y = 0; y < blk.size.y; ++y) {
+            for (int x = 0; x < blk.size.x; ++x) {
+                double pC[N], pW[N], pE[N], pS[N], pN[N], pB[N], pT[N];
+                loadPhi(P, x, y, z, pC);
+                loadPhi(P, x - 1, y, z, pW);
+                loadPhi(P, x + 1, y, z, pE);
+                loadPhi(P, x, y - 1, z, pS);
+                loadPhi(P, x, y + 1, z, pN);
+                loadPhi(P, x, y, z - 1, pB);
+                loadPhi(P, x, y, z + 1, pT);
+
+                // Staggered face fluxes of da/dgrad(phi): lower cell first.
+                double fxm[N], fxp[N], fym[N], fyp[N], fzm[N], fzp[N];
+                ops.faceFlux(mc, pW, pC, fxm);
+                ops.faceFlux(mc, pC, pE, fxp);
+                ops.faceFlux(mc, pS, pC, fym);
+                ops.faceFlux(mc, pC, pN, fyp);
+                ops.faceFlux(mc, pB, pC, fzm);
+                ops.faceFlux(mc, pC, pT, fzp);
+
+                double div[N];
+                for (int a = 0; a < N; ++a)
+                    div[a] = (((fxp[a] - fxm[a]) + (fyp[a] - fym[a])) +
+                              (fzp[a] - fzm[a])) *
+                             mc.invDx;
+
+                // Cell-centered gradients for da/dphi.
+                double g[3][N];
+                for (int a = 0; a < N; ++a) {
+                    g[0][a] = (pE[a] - pW[a]) * mc.halfInvDx;
+                    g[1][a] = (pN[a] - pS[a]) * mc.halfInvDx;
+                    g[2][a] = (pT[a] - pB[a]) * mc.halfInvDx;
+                }
+                double dadphi[N];
+                ops.gradDeriv(mc, pC, g, dadphi);
+
+                double dom[N];
+                ops.obstacle(mc, pC, dom);
+
+                double dpsi[N];
+                ops.driving(mc, st, pC, Mu(x, y, z, 0), Mu(x, y, z, 1), dpsi);
+
+                double out[N];
+                ops.update(mc, st, pC, div, dadphi, dom, dpsi, out);
+                for (int a = 0; a < N; ++a) Dst(x, y, z, a) = out[a];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void phiSweepGeneral(SimBlock& blk, const StepContext& ctx) {
+    struct Indirect {
+        const GeneralPhiOps& t;
+        void faceFlux(const ModelConsts& mc, const double* a, const double* b,
+                      double* o) const {
+            t.faceFlux(mc, a, b, o);
+        }
+        void gradDeriv(const ModelConsts& mc, const double* p,
+                       const double g[3][N], double* o) const {
+            t.gradDeriv(mc, p, g, o);
+        }
+        void obstacle(const ModelConsts& mc, const double* p, double* o) const {
+            t.obstacle(mc, p, o);
+        }
+        void driving(const ModelConsts& mc, const SliceThermo& st,
+                     const double* p, double mx, double my, double* o) const {
+            t.driving(mc, st, p, mx, my, o);
+        }
+        void update(const ModelConsts& mc, const SliceThermo& st,
+                    const double* p, const double* d, const double* da,
+                    const double* dm, const double* dp, double* o) const {
+            t.update(mc, st, p, d, da, dm, dp, o);
+        }
+    };
+    phiSweepImpl(blk, ctx, /*useCache=*/false, Indirect{generalOps()});
+}
+
+void phiSweepBasic(SimBlock& blk, const StepContext& ctx) {
+    phiSweepImpl(blk, ctx, /*useCache=*/false, DirectPhiOps{});
+}
+
+} // namespace tpf::core

@@ -1,0 +1,4 @@
+#include "core/temperature.h"
+
+// All members are header-inline; this translation unit anchors the vtable-free
+// classes for faster incremental builds.

@@ -1,0 +1,94 @@
+#pragma once
+/// \file temperature.h
+/// Frozen-temperature ansatz and the per-z-slice cache of temperature
+/// dependent quantities (the paper's "T(z) optimization": values required by
+/// the driving force and the anti-trapping current that depend on analytic
+/// temperatures only are pre-calculated once per z-slice).
+
+#include <vector>
+
+#include "core/params.h"
+
+namespace tpf::core {
+
+/// Analytic temperature field T(z, t) of directional solidification.
+class FrozenTemperature {
+public:
+    explicit FrozenTemperature(const TemperatureParams& p) : p_(p) {}
+
+    /// Temperature at the center of global cell layer \p zGlobal at time t;
+    /// \p windowOffsetCells is the accumulated moving-window shift.
+    double atCell(int zGlobal, double t, double windowOffsetCells) const {
+        const double zPhys =
+            (static_cast<double>(zGlobal) + 0.5) + windowOffsetCells;
+        return p_.TE + p_.gradient * (zPhys - p_.zEut0 - p_.velocity * t);
+    }
+
+    /// Time derivative of the temperature at a fixed point (constant).
+    double dTdt() const { return -p_.gradient * p_.velocity; }
+
+    /// Global z (in cells, fractional) where T = TE at time t.
+    double eutecticIsothermZ(double t, double windowOffsetCells) const {
+        return p_.zEut0 + p_.velocity * t - windowOffsetCells - 0.5;
+    }
+
+    const TemperatureParams& params() const { return p_; }
+
+private:
+    TemperatureParams p_;
+};
+
+/// Temperature-dependent per-phase values of one z-slice.
+struct SliceThermo {
+    double T = 0;       ///< temperature
+    double Tt = 0;      ///< T / TE (dimensionless prefactor of the interfacial terms)
+    double xix[N] = {}; ///< equilibrium concentration xi_a(T), component c_Ag
+    double xiy[N] = {}; ///< equilibrium concentration xi_a(T), component c_Cu
+    double om[N] = {};  ///< T-dependent grand potential offset m_a (T-TE) + b_a
+};
+
+/// Compute the slice values for temperature \p T. Shared by the cache build
+/// and the non-cached kernel variants so both produce bitwise identical
+/// values (a prerequisite of the kernel equivalence tests).
+inline SliceThermo computeSliceThermo(const ModelConsts& mc, double T) {
+    SliceThermo s;
+    s.T = T;
+    s.Tt = T / mc.TE;
+    const double dT = T - mc.TE;
+    for (int a = 0; a < N; ++a) {
+        s.xix[a] = mc.xi0x[a] + mc.dxidTx[a] * dT;
+        s.xiy[a] = mc.xi0y[a] + mc.dxidTy[a] * dT;
+        s.om[a] = mc.mcoef[a] * dT + mc.boff[a];
+    }
+    return s;
+}
+
+/// Per-block cache of SliceThermo for local z in [-1, nz] (one ghost slice on
+/// each side so z-face averages stay in-cache).
+class TzCache {
+public:
+    /// Build for a block whose first interior cell sits at global z
+    /// \p originZ, with \p nz interior slices.
+    void build(const ModelConsts& mc, const FrozenTemperature& temp, int originZ,
+               int nz, double t, double windowOffsetCells) {
+        nz_ = nz;
+        slices_.resize(static_cast<std::size_t>(nz) + 2);
+        for (int z = -1; z <= nz; ++z)
+            slices_[static_cast<std::size_t>(z + 1)] = computeSliceThermo(
+                mc, temp.atCell(originZ + z, t, windowOffsetCells));
+    }
+
+    /// Slice values at local z in [-1, nz].
+    const SliceThermo& at(int z) const {
+        TPF_ASSERT_DBG(z >= -1 && z <= nz_, "z slice out of cached range");
+        return slices_[static_cast<std::size_t>(z + 1)];
+    }
+
+    int nz() const { return nz_; }
+
+private:
+    int nz_ = 0;
+    std::vector<SliceThermo> slices_;
+};
+
+} // namespace tpf::core

@@ -1,0 +1,40 @@
+#include "core/timeloop.h"
+
+#include <chrono>
+
+namespace tpf::core {
+
+namespace {
+double now() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+} // namespace
+
+void Timeloop::add(std::string name, std::function<void()> fn) {
+    fns_.push_back(std::move(fn));
+    timings_.push_back({std::move(name), 0.0, 0});
+}
+
+void Timeloop::singleStep() {
+    for (std::size_t i = 0; i < fns_.size(); ++i) {
+        const double t0 = now();
+        fns_[i]();
+        timings_[i].seconds += now() - t0;
+        ++timings_[i].calls;
+    }
+    ++steps_;
+}
+
+void Timeloop::run(int steps) {
+    for (int i = 0; i < steps; ++i) singleStep();
+}
+
+void Timeloop::resetTimings() {
+    for (auto& t : timings_) {
+        t.seconds = 0.0;
+        t.calls = 0;
+    }
+}
+
+} // namespace tpf::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file timeloop.h
+/// Functor-sequence time loop (the counterpart of waLBerla's "Timeloop"
+/// class): compute kernels, communication and boundary handling register as
+/// named functors; per-functor wall-clock times are accumulated for the
+/// communication-hiding analysis (Figure 8 of the paper).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tpf::core {
+
+class Timeloop {
+public:
+    /// Append a named step executed once per time step, in order.
+    void add(std::string name, std::function<void()> fn);
+
+    /// Run one time step (all functors in registration order).
+    void singleStep();
+
+    /// Run \p steps time steps.
+    void run(int steps);
+
+    /// Number of completed time steps.
+    long long steps() const { return steps_; }
+
+    /// Accumulated seconds per functor (registration order).
+    struct Timing {
+        std::string name;
+        double seconds = 0.0;
+        long long calls = 0;
+    };
+    const std::vector<Timing>& timings() const { return timings_; }
+    void resetTimings();
+
+private:
+    std::vector<std::function<void()>> fns_;
+    std::vector<Timing> timings_;
+    long long steps_ = 0;
+};
+
+} // namespace tpf::core

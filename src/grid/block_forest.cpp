@@ -1,0 +1,144 @@
+#include "grid/block_forest.h"
+
+namespace tpf {
+
+BlockForest BlockForest::createUniform(Int3 globalCells, Int3 blockSize,
+                                       std::array<bool, 3> periodic, int nranks) {
+    TPF_ASSERT(globalCells.x > 0 && globalCells.y > 0 && globalCells.z > 0,
+               "global domain must be non-empty");
+    TPF_ASSERT(blockSize.x > 0 && blockSize.y > 0 && blockSize.z > 0,
+               "block size must be positive");
+    TPF_ASSERT(globalCells.x % blockSize.x == 0 &&
+                   globalCells.y % blockSize.y == 0 &&
+                   globalCells.z % blockSize.z == 0,
+               "global size must be a multiple of the block size");
+    TPF_ASSERT(nranks >= 1, "need at least one rank");
+
+    BlockForest bf;
+    bf.global_ = globalCells;
+    bf.blockSize_ = blockSize;
+    bf.grid_ = {globalCells.x / blockSize.x, globalCells.y / blockSize.y,
+                globalCells.z / blockSize.z};
+    bf.periodic_ = periodic;
+    bf.nranks_ = nranks;
+    TPF_ASSERT(bf.numBlocks() >= nranks,
+               "more ranks than blocks — every rank needs at least one block");
+    return bf;
+}
+
+BlockForest BlockForest::createUniformWeighted(
+    Int3 globalCells, Int3 blockSize, std::array<bool, 3> periodic, int nranks,
+    const std::vector<double>& weights) {
+    BlockForest bf = createUniform(globalCells, blockSize, periodic, nranks);
+    TPF_ASSERT(static_cast<int>(weights.size()) == bf.numBlocks(),
+               "one weight per block required");
+    for (double w : weights) TPF_ASSERT(w >= 0.0, "weights must be nonnegative");
+
+    // Exact linear partitioning into nranks contiguous segments minimizing
+    // the bottleneck: binary search over the feasible maximum load, greedy
+    // feasibility check. Then assign greedily under that bound while leaving
+    // at least one block for every remaining rank.
+    const int n = bf.numBlocks();
+    double lo = 0.0, total = 0.0;
+    for (double w : weights) {
+        lo = std::max(lo, w);
+        total += w;
+    }
+    double hi = total;
+    auto segmentsNeeded = [&](double cap) {
+        int segments = 1;
+        double cur = 0.0;
+        for (double w : weights) {
+            if (cur + w > cap) {
+                ++segments;
+                cur = w;
+            } else {
+                cur += w;
+            }
+        }
+        return segments;
+    };
+    for (int it = 0; it < 64; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (segmentsNeeded(mid) <= nranks)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    const double cap = hi * (1.0 + 1e-12);
+
+    bf.rankMap_.assign(static_cast<std::size_t>(n), 0);
+    bf.weights_ = weights;
+    int rank = 0;
+    double cur = 0.0;
+    for (int b = 0; b < n; ++b) {
+        const double w = weights[static_cast<std::size_t>(b)];
+        const bool haveBlock = cur > 0.0 || (b > 0 && bf.rankMap_[static_cast<std::size_t>(b) - 1] == rank);
+        const int ranksAfter = nranks - rank - 1;
+        // Close the current segment when the cap would be exceeded, or when
+        // exactly one block per remaining rank is left (every rank must own
+        // at least one block).
+        if (haveBlock && rank < nranks - 1 &&
+            (cur + w > cap || n - b == ranksAfter)) {
+            ++rank;
+            cur = 0.0;
+        }
+        bf.rankMap_[static_cast<std::size_t>(b)] = rank;
+        cur += w;
+    }
+    return bf;
+}
+
+int BlockForest::rankOf(int b) const {
+    TPF_ASSERT_DBG(b >= 0 && b < numBlocks(), "block index out of range");
+    if (!rankMap_.empty()) return rankMap_[static_cast<std::size_t>(b)];
+    // Contiguous chunks: the first (numBlocks % nranks) ranks own one extra
+    // block. Deterministic and balanced to within one block.
+    const int n = numBlocks();
+    const int base = n / nranks_;
+    const int extra = n % nranks_;
+    const int cutoff = (base + 1) * extra; // blocks owned by the "big" ranks
+    if (b < cutoff) return b / (base + 1);
+    return extra + (b - cutoff) / base;
+}
+
+double BlockForest::rankLoad(int rank) const {
+    double load = 0.0;
+    for (int b = 0; b < numBlocks(); ++b) {
+        if (rankOf(b) != rank) continue;
+        load += weights_.empty() ? 1.0 : weights_[static_cast<std::size_t>(b)];
+    }
+    return load;
+}
+
+std::vector<int> BlockForest::localBlocks(int rank) const {
+    std::vector<int> out;
+    for (int b = 0; b < numBlocks(); ++b)
+        if (rankOf(b) == rank) out.push_back(b);
+    return out;
+}
+
+std::optional<NeighborInfo> BlockForest::neighbor(int b, int ox, int oy,
+                                                  int oz) const {
+    TPF_ASSERT_DBG(ox >= -1 && ox <= 1 && oy >= -1 && oy <= 1 && oz >= -1 && oz <= 1,
+                   "neighbor offset components must be in {-1,0,1}");
+    Int3 c = blockCoords(b);
+    c.x += ox;
+    c.y += oy;
+    c.z += oz;
+
+    auto wrap = [](int v, int n, bool per) -> std::optional<int> {
+        if (v < 0) return per ? std::optional<int>(v + n) : std::nullopt;
+        if (v >= n) return per ? std::optional<int>(v - n) : std::nullopt;
+        return v;
+    };
+    const auto wx = wrap(c.x, grid_.x, periodic_[0]);
+    const auto wy = wrap(c.y, grid_.y, periodic_[1]);
+    const auto wz = wrap(c.z, grid_.z, periodic_[2]);
+    if (!wx || !wy || !wz) return std::nullopt;
+
+    const int nb = blockIndex({*wx, *wy, *wz});
+    return NeighborInfo{nb, rankOf(nb)};
+}
+
+} // namespace tpf

@@ -1,0 +1,52 @@
+#pragma once
+/// \file cell_interval.h
+/// Inclusive axis-aligned cell ranges, used to describe pack/unpack regions,
+/// boundary slabs and iteration spaces (waLBerla's CellInterval).
+
+#include <algorithm>
+
+namespace tpf {
+
+/// Inclusive interval [xMin..xMax] x [yMin..yMax] x [zMin..zMax] in cell
+/// coordinates (interior cells start at 0; ghosts are negative / >= n).
+struct CellInterval {
+    int xMin = 0, yMin = 0, zMin = 0;
+    int xMax = -1, yMax = -1, zMax = -1; // empty by default
+
+    bool empty() const { return xMax < xMin || yMax < yMin || zMax < zMin; }
+
+    long long numCells() const {
+        if (empty()) return 0;
+        return static_cast<long long>(xMax - xMin + 1) * (yMax - yMin + 1) *
+               (zMax - zMin + 1);
+    }
+
+    bool contains(int x, int y, int z) const {
+        return x >= xMin && x <= xMax && y >= yMin && y <= yMax && z >= zMin &&
+               z <= zMax;
+    }
+
+    CellInterval intersect(const CellInterval& o) const {
+        return {std::max(xMin, o.xMin), std::max(yMin, o.yMin),
+                std::max(zMin, o.zMin), std::min(xMax, o.xMax),
+                std::min(yMax, o.yMax), std::min(zMax, o.zMax)};
+    }
+
+    /// Shift by (dx, dy, dz).
+    CellInterval shifted(int dx, int dy, int dz) const {
+        return {xMin + dx, yMin + dy, zMin + dz, xMax + dx, yMax + dy, zMax + dz};
+    }
+
+    bool operator==(const CellInterval& o) const = default;
+};
+
+/// Call fn(x, y, z) for every cell in the interval (z outermost, x innermost —
+/// the storage order of fzyx fields).
+template <typename Fn>
+inline void forEachCell(const CellInterval& ci, Fn&& fn) {
+    for (int z = ci.zMin; z <= ci.zMax; ++z)
+        for (int y = ci.yMin; y <= ci.yMax; ++y)
+            for (int x = ci.xMin; x <= ci.xMax; ++x) fn(x, y, z);
+}
+
+} // namespace tpf

@@ -1,0 +1,10 @@
+#include "grid/field.h"
+
+namespace tpf {
+
+// Explicit instantiations for the element types used across the library.
+template class Field<double>;
+template class Field<float>;
+template class Field<int>;
+
+} // namespace tpf

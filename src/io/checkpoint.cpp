@@ -1,0 +1,153 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace tpf::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'P', 'F', 'C', 'H', 'K', '0', '1'};
+
+struct FileHeader {
+    char magic[8];
+    double time;
+    double windowOffset;
+    int globalX, globalY, globalZ;
+    int numRanks;
+    int numBlocks;
+};
+
+struct BlockHeader {
+    int blockIdx;
+    int nx, ny, nz;
+};
+
+std::string rankFile(const std::string& dir, int rank) {
+    return dir + "/rank_" + std::to_string(rank) + ".tpfchk";
+}
+
+struct FileCloser {
+    void operator()(std::FILE* f) const {
+        if (f) std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void writeFieldF32(std::FILE* f, const Field<double>& field) {
+    std::vector<float> buf;
+    buf.reserve(static_cast<std::size_t>(field.interior().numCells()) *
+                static_cast<std::size_t>(field.nf()));
+    forEachCell(field.interior(), [&](int x, int y, int z) {
+        for (int c = 0; c < field.nf(); ++c)
+            buf.push_back(static_cast<float>(field(x, y, z, c)));
+    });
+    const std::size_t written = std::fwrite(buf.data(), sizeof(float),
+                                            buf.size(), f);
+    TPF_ASSERT(written == buf.size(), "checkpoint write failed");
+}
+
+void readFieldF32(std::FILE* f, Field<double>& field) {
+    std::vector<float> buf(
+        static_cast<std::size_t>(field.interior().numCells()) *
+        static_cast<std::size_t>(field.nf()));
+    const std::size_t read = std::fread(buf.data(), sizeof(float), buf.size(), f);
+    TPF_ASSERT(read == buf.size(), "checkpoint read failed");
+    std::size_t i = 0;
+    forEachCell(field.interior(), [&](int x, int y, int z) {
+        for (int c = 0; c < field.nf(); ++c)
+            field(x, y, z, c) = static_cast<double>(buf[i++]);
+    });
+}
+
+} // namespace
+
+void saveCheckpoint(const std::string& dir, core::Solver& solver) {
+    std::filesystem::create_directories(dir);
+    const int rank = solver.comm() ? solver.comm()->rank() : 0;
+    const int nranks = solver.comm() ? solver.comm()->size() : 1;
+
+    FilePtr f(std::fopen(rankFile(dir, rank).c_str(), "wb"));
+    TPF_ASSERT(f != nullptr, "cannot open checkpoint file for writing");
+
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.time = solver.time();
+    hdr.windowOffset = solver.windowOffsetCells();
+    hdr.globalX = solver.forest().globalCells().x;
+    hdr.globalY = solver.forest().globalCells().y;
+    hdr.globalZ = solver.forest().globalCells().z;
+    hdr.numRanks = nranks;
+    hdr.numBlocks = static_cast<int>(solver.localBlocks().size());
+    TPF_ASSERT(std::fwrite(&hdr, sizeof(hdr), 1, f.get()) == 1, "header write");
+
+    for (auto& b : solver.localBlocks()) {
+        BlockHeader bh{b->blockIdx, b->size.x, b->size.y, b->size.z};
+        TPF_ASSERT(std::fwrite(&bh, sizeof(bh), 1, f.get()) == 1,
+                   "block header write");
+        writeFieldF32(f.get(), b->phiSrc);
+        writeFieldF32(f.get(), b->muSrc);
+    }
+}
+
+void loadCheckpoint(const std::string& dir, core::Solver& solver) {
+    const int rank = solver.comm() ? solver.comm()->rank() : 0;
+
+    FilePtr f(std::fopen(rankFile(dir, rank).c_str(), "rb"));
+    TPF_ASSERT(f != nullptr, "cannot open checkpoint file for reading");
+
+    FileHeader hdr{};
+    TPF_ASSERT(std::fread(&hdr, sizeof(hdr), 1, f.get()) == 1, "header read");
+    TPF_ASSERT(std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) == 0,
+               "not a TPF checkpoint file");
+    TPF_ASSERT(hdr.globalX == solver.forest().globalCells().x &&
+                   hdr.globalY == solver.forest().globalCells().y &&
+                   hdr.globalZ == solver.forest().globalCells().z,
+               "checkpoint domain size mismatch");
+    TPF_ASSERT(hdr.numBlocks == static_cast<int>(solver.localBlocks().size()),
+               "checkpoint block count mismatch (same decomposition required)");
+
+    for (auto& b : solver.localBlocks()) {
+        BlockHeader bh{};
+        TPF_ASSERT(std::fread(&bh, sizeof(bh), 1, f.get()) == 1,
+                   "block header read");
+        TPF_ASSERT(bh.blockIdx == b->blockIdx, "block order mismatch");
+        TPF_ASSERT(bh.nx == b->size.x && bh.ny == b->size.y && bh.nz == b->size.z,
+                   "block size mismatch");
+        readFieldF32(f.get(), b->phiSrc);
+        readFieldF32(f.get(), b->muSrc);
+        b->phiDst.copyFrom(b->phiSrc);
+        b->muDst.copyFrom(b->muSrc);
+    }
+
+    solver.restore(hdr.time, hdr.windowOffset);
+}
+
+CheckpointMeta readCheckpointMeta(const std::string& dir) {
+    FilePtr f(std::fopen(rankFile(dir, 0).c_str(), "rb"));
+    TPF_ASSERT(f != nullptr, "cannot open checkpoint file");
+    FileHeader hdr{};
+    TPF_ASSERT(std::fread(&hdr, sizeof(hdr), 1, f.get()) == 1, "header read");
+    TPF_ASSERT(std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) == 0,
+               "not a TPF checkpoint file");
+    return CheckpointMeta{hdr.time,
+                          hdr.windowOffset,
+                          {hdr.globalX, hdr.globalY, hdr.globalZ},
+                          hdr.numRanks};
+}
+
+std::size_t checkpointBytes(const core::Solver& solver) {
+    std::size_t bytes = sizeof(FileHeader);
+    for (const auto& b : solver.localBlocks()) {
+        bytes += sizeof(BlockHeader);
+        bytes += static_cast<std::size_t>(b->numCells()) *
+                 (core::N + core::KC) * sizeof(float);
+    }
+    return bytes;
+}
+
+} // namespace tpf::io

@@ -1,0 +1,40 @@
+#pragma once
+/// \file checkpoint.h
+/// Checkpointing (paper §3.2): "the complete simulation state has to be
+/// stored on disk, containing four phi values and two mu values per cell.
+/// While all computations are carried out in double precision, checkpoints
+/// use only single precision to save disk space and I/O bandwidth."
+///
+/// Layout: one file per rank (rank_<r>.tpfchk) holding a fixed header, the
+/// run clocks, and the interior cells of every local block in float32. Ghost
+/// layers are reconstructed by communication on restore.
+
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace tpf::io {
+
+struct CheckpointMeta {
+    double time = 0.0;
+    double windowOffset = 0.0;
+    Int3 globalCells{};
+    int numRanks = 1;
+};
+
+/// Write the state of \p solver under directory \p dir (created if needed).
+/// Collective: every rank writes its own file.
+void saveCheckpoint(const std::string& dir, core::Solver& solver);
+
+/// Restore a previously saved state into \p solver (must be configured with
+/// the same domain/decomposition). Re-synchronizes ghost layers.
+void loadCheckpoint(const std::string& dir, core::Solver& solver);
+
+/// Read only the metadata (rank 0 file).
+CheckpointMeta readCheckpointMeta(const std::string& dir);
+
+/// Bytes a checkpoint of this solver occupies (for the I/O benchmark).
+std::size_t checkpointBytes(const core::Solver& solver);
+
+} // namespace tpf::io

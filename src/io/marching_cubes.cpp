@@ -1,0 +1,121 @@
+#include "io/marching_cubes.h"
+
+#include <cmath>
+
+#include "io/mc_tables.h"
+#include "util/assert.h"
+
+namespace tpf::io {
+
+namespace {
+
+/// Interpolated iso-crossing on the edge between corners (pa, va) and
+/// (pb, vb); va and vb straddle the iso value.
+Vec3 edgePoint(Vec3 pa, double va, Vec3 pb, double vb, double iso) {
+    const double denom = vb - va;
+    const double t = (std::abs(denom) < 1e-300) ? 0.5 : (iso - va) / denom;
+    return pa + (pb - pa) * t;
+}
+
+/// Emit the triangle (a, b, c), oriented so the normal points away from the
+/// inside (value >= iso) region represented by \p insidePoint.
+void emitTriangle(TriMesh& m, Vec3 a, Vec3 b, Vec3 c, Vec3 insidePoint) {
+    const Vec3 n = (b - a).cross(c - a);
+    const Vec3 centroid = (a + b + c) * (1.0 / 3.0);
+    if (n.dot(insidePoint - centroid) > 0.0) std::swap(b, c);
+    const int base = static_cast<int>(m.vertices.size());
+    m.vertices.push_back(a);
+    m.vertices.push_back(b);
+    m.vertices.push_back(c);
+    m.triangles.push_back({base, base + 1, base + 2});
+}
+
+/// March one tetrahedron.
+void marchTet(TriMesh& m, const Vec3 p[4], const double v[4], double iso) {
+    int insideMask = 0;
+    for (int i = 0; i < 4; ++i)
+        if (v[i] >= iso) insideMask |= 1 << i;
+    if (insideMask == 0 || insideMask == 0xF) return;
+
+    int inside[4], outside[4];
+    int ni = 0, no = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (insideMask & (1 << i))
+            inside[ni++] = i;
+        else
+            outside[no++] = i;
+    }
+
+    if (ni == 1 || ni == 3) {
+        // One triangle separating the lone vertex from the other three.
+        const int lone = (ni == 1) ? inside[0] : outside[0];
+        const int* others = (ni == 1) ? outside : inside;
+        const Vec3 a = edgePoint(p[lone], v[lone], p[others[0]], v[others[0]], iso);
+        const Vec3 b = edgePoint(p[lone], v[lone], p[others[1]], v[others[1]], iso);
+        const Vec3 c = edgePoint(p[lone], v[lone], p[others[2]], v[others[2]], iso);
+        const Vec3 insidePt = (ni == 1) ? p[inside[0]] : p[inside[0]];
+        emitTriangle(m, a, b, c, insidePt);
+    } else {
+        // 2-2 split: a quad on the four crossing edges, as two triangles.
+        const int i0 = inside[0], i1 = inside[1];
+        const int o0 = outside[0], o1 = outside[1];
+        const Vec3 q00 = edgePoint(p[i0], v[i0], p[o0], v[o0], iso);
+        const Vec3 q01 = edgePoint(p[i0], v[i0], p[o1], v[o1], iso);
+        const Vec3 q10 = edgePoint(p[i1], v[i1], p[o0], v[o0], iso);
+        const Vec3 q11 = edgePoint(p[i1], v[i1], p[o1], v[o1], iso);
+        // Quad q00-q01-q11-q10 (opposite corners share no tet edge).
+        emitTriangle(m, q00, q01, q11, p[i0]);
+        emitTriangle(m, q00, q11, q10, p[i1]);
+    }
+}
+
+} // namespace
+
+TriMesh extractIsoSurface(const Field<double>& field, int component, double iso,
+                          Vec3 origin) {
+    TPF_ASSERT(field.ghost() >= 1,
+               "iso-surface extraction reads the +1 ghost layer");
+    TriMesh mesh;
+
+    const int nx = field.nx(), ny = field.ny(), nz = field.nz();
+    for (int z = 0; z < nz; ++z) {
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                // Cube on the cell centers (x..x+1, y..y+1, z..z+1).
+                double cv[8];
+                Vec3 cp[8];
+                bool anyIn = false, anyOut = false;
+                for (int c = 0; c < 8; ++c) {
+                    const auto& o = kCubeCorner[static_cast<std::size_t>(c)];
+                    cv[c] = field(x + o[0], y + o[1], z + o[2], component);
+                    cp[c] = Vec3{origin.x + x + o[0] + 0.5,
+                                 origin.y + y + o[1] + 0.5,
+                                 origin.z + z + o[2] + 0.5};
+                    (cv[c] >= iso ? anyIn : anyOut) = true;
+                }
+                if (!anyIn || !anyOut) continue; // no crossing in this cube
+
+                for (const auto& tet : kCubeTets) {
+                    const Vec3 tp[4] = {cp[tet[0]], cp[tet[1]], cp[tet[2]],
+                                        cp[tet[3]]};
+                    const double tv[4] = {cv[tet[0]], cv[tet[1]], cv[tet[2]],
+                                          cv[tet[3]]};
+                    marchTet(mesh, tp, tv, iso);
+                }
+            }
+        }
+    }
+
+    // Merge the duplicated edge points between tetrahedra / cubes.
+    mesh.weldVertices(1e-7);
+    return mesh;
+}
+
+TriMesh extractPhaseSurface(const core::SimBlock& blk, int phase, double iso) {
+    return extractIsoSurface(blk.phiSrc, phase, iso,
+                             Vec3{static_cast<double>(blk.origin.x),
+                                  static_cast<double>(blk.origin.y),
+                                  static_cast<double>(blk.origin.z)});
+}
+
+} // namespace tpf::io

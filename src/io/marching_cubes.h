@@ -1,0 +1,32 @@
+#pragma once
+/// \file marching_cubes.h
+/// Per-block iso-surface extraction of the phase interfaces (paper §3.2).
+///
+/// The paper uses a custom marching-cubes variant; this implementation
+/// marches the Kuhn tetrahedral decomposition of each cell-centered cube
+/// (tables in mc_tables.h), which needs no 256-case tables and is provably
+/// consistent across cube and block boundaries: per-block meshes extracted
+/// with ghost extension stitch into a single watertight surface (verified by
+/// the mesh tests). Like the paper's variant it produces triangles with edge
+/// lengths of order dx — "unnecessarily fine" — which the quadric-error
+/// simplification (simplify.h) then coarsens.
+
+#include "core/sim_block.h"
+#include "grid/field.h"
+#include "io/mesh.h"
+
+namespace tpf::io {
+
+/// Extract the iso-surface \p field(component) == iso. Cube lower corners run
+/// over the interior; upper corners read the +1 ghost layer, so the surface
+/// extends exactly to the neighbor block's first cell (stitchable). Vertex
+/// positions are cell-center coordinates shifted by \p origin.
+TriMesh extractIsoSurface(const Field<double>& field, int component, double iso,
+                          Vec3 origin);
+
+/// Interface mesh of one phase of a simulation block (phi_a = 0.5 surface)
+/// in global cell coordinates.
+TriMesh extractPhaseSurface(const core::SimBlock& blk, int phase,
+                            double iso = 0.5);
+
+} // namespace tpf::io

@@ -1,0 +1,17 @@
+#include "io/mc_tables.h"
+
+namespace tpf::io {
+
+// Each tetrahedron follows one coordinate-permutation path from corner 0 to
+// corner 7 (e.g. +x, +y, +z gives 0 -> 1 -> 3 -> 7). Corner numbering as in
+// kCubeCorner (bit 0 = x, bit 1 = y, bit 2 = z).
+const std::array<std::array<int, 4>, 6> kCubeTets = {{
+    {0, 1, 3, 7}, // x y z
+    {0, 1, 5, 7}, // x z y
+    {0, 2, 3, 7}, // y x z
+    {0, 2, 6, 7}, // y z x
+    {0, 4, 5, 7}, // z x y
+    {0, 4, 6, 7}, // z y x
+}};
+
+} // namespace tpf::io

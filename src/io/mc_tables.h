@@ -1,0 +1,23 @@
+#pragma once
+/// \file mc_tables.h
+/// Geometry tables of the iso-surface extractor: cube corner offsets and the
+/// Kuhn (6-tetrahedra) decomposition of the unit cube. All six tetrahedra
+/// share the main diagonal 0-7; every cube face is split along its min-max
+/// diagonal, so the decomposition is consistent between neighboring cubes and
+/// the extracted surface is watertight across cube AND block boundaries
+/// (which is what lets the per-block meshes stitch, paper §3.2).
+
+#include <array>
+
+namespace tpf::io {
+
+/// Corner numbering: bit 0 = +x, bit 1 = +y, bit 2 = +z.
+inline constexpr std::array<std::array<int, 3>, 8> kCubeCorner = {{
+    {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}};
+
+/// The six path tetrahedra of the Kuhn decomposition (corner indices).
+extern const std::array<std::array<int, 4>, 6> kCubeTets;
+
+} // namespace tpf::io

@@ -1,0 +1,184 @@
+#include "io/mesh.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace tpf::io {
+
+namespace {
+
+/// Hash key of a quantized 3D position.
+struct QuantKey {
+    std::int64_t x, y, z;
+    bool operator==(const QuantKey&) const = default;
+};
+
+struct QuantKeyHash {
+    std::size_t operator()(const QuantKey& k) const {
+        std::uint64_t h = 1469598103934665603ULL;
+        for (std::int64_t v : {k.x, k.y, k.z}) {
+            h ^= static_cast<std::uint64_t>(v);
+            h *= 1099511628211ULL;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace
+
+void TriMesh::append(const TriMesh& o) {
+    const int base = static_cast<int>(vertices.size());
+    vertices.insert(vertices.end(), o.vertices.begin(), o.vertices.end());
+    triangles.reserve(triangles.size() + o.triangles.size());
+    for (const auto& t : o.triangles)
+        triangles.push_back({t[0] + base, t[1] + base, t[2] + base});
+}
+
+void TriMesh::weldVertices(double tol) {
+    TPF_ASSERT(tol > 0.0, "weld tolerance must be positive");
+    const double inv = 1.0 / tol;
+
+    std::unordered_map<QuantKey, int, QuantKeyHash> lookup;
+    lookup.reserve(vertices.size());
+    std::vector<int> remap(vertices.size());
+    std::vector<Vec3> keptVertices;
+    keptVertices.reserve(vertices.size());
+
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const Vec3& v = vertices[i];
+        const QuantKey key{static_cast<std::int64_t>(std::llround(v.x * inv)),
+                           static_cast<std::int64_t>(std::llround(v.y * inv)),
+                           static_cast<std::int64_t>(std::llround(v.z * inv))};
+        auto [it, inserted] =
+            lookup.try_emplace(key, static_cast<int>(keptVertices.size()));
+        if (inserted) keptVertices.push_back(v);
+        remap[i] = it->second;
+    }
+
+    std::vector<std::array<int, 3>> keptTriangles;
+    keptTriangles.reserve(triangles.size());
+    for (const auto& t : triangles) {
+        const std::array<int, 3> m{remap[static_cast<std::size_t>(t[0])],
+                                   remap[static_cast<std::size_t>(t[1])],
+                                   remap[static_cast<std::size_t>(t[2])]};
+        if (m[0] == m[1] || m[1] == m[2] || m[0] == m[2]) continue; // degenerate
+        keptTriangles.push_back(m);
+    }
+
+    vertices = std::move(keptVertices);
+    triangles = std::move(keptTriangles);
+}
+
+void TriMesh::compactVertices() {
+    std::vector<int> remap(vertices.size(), -1);
+    std::vector<Vec3> kept;
+    for (auto& t : triangles) {
+        for (int& idx : t) {
+            auto& m = remap[static_cast<std::size_t>(idx)];
+            if (m < 0) {
+                m = static_cast<int>(kept.size());
+                kept.push_back(vertices[static_cast<std::size_t>(idx)]);
+            }
+            idx = m;
+        }
+    }
+    vertices = std::move(kept);
+}
+
+double TriMesh::totalArea() const {
+    double area = 0.0;
+    for (const auto& t : triangles) {
+        const Vec3& a = vertices[static_cast<std::size_t>(t[0])];
+        const Vec3& b = vertices[static_cast<std::size_t>(t[1])];
+        const Vec3& c = vertices[static_cast<std::size_t>(t[2])];
+        area += 0.5 * (b - a).cross(c - a).norm();
+    }
+    return area;
+}
+
+namespace {
+
+struct EdgeKey {
+    int a, b; // a < b
+    bool operator==(const EdgeKey&) const = default;
+};
+struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& e) const {
+        return std::hash<long long>()((static_cast<long long>(e.a) << 32) ^ e.b);
+    }
+};
+
+std::unordered_map<EdgeKey, int, EdgeKeyHash> edgeUseCounts(const TriMesh& m) {
+    std::unordered_map<EdgeKey, int, EdgeKeyHash> counts;
+    counts.reserve(m.triangles.size() * 3);
+    for (const auto& t : m.triangles) {
+        for (int e = 0; e < 3; ++e) {
+            int a = t[static_cast<std::size_t>(e)];
+            int b = t[static_cast<std::size_t>((e + 1) % 3)];
+            if (a > b) std::swap(a, b);
+            ++counts[EdgeKey{a, b}];
+        }
+    }
+    return counts;
+}
+
+} // namespace
+
+long long TriMesh::eulerCharacteristic() const {
+    const auto counts = edgeUseCounts(*this);
+    // Count only vertices in use.
+    std::vector<char> used(vertices.size(), 0);
+    for (const auto& t : triangles)
+        for (int idx : t) used[static_cast<std::size_t>(idx)] = 1;
+    long long v = 0;
+    for (char u : used) v += u;
+    return v - static_cast<long long>(counts.size()) +
+           static_cast<long long>(triangles.size());
+}
+
+bool TriMesh::isClosed() const {
+    if (triangles.empty()) return false;
+    for (const auto& [edge, count] : edgeUseCounts(*this))
+        if (count != 2) return false;
+    return true;
+}
+
+std::vector<char> TriMesh::openBoundaryVertices() const {
+    std::vector<char> flags(vertices.size(), 0);
+    for (const auto& [edge, count] : edgeUseCounts(*this)) {
+        if (count == 1) {
+            flags[static_cast<std::size_t>(edge.a)] = 1;
+            flags[static_cast<std::size_t>(edge.b)] = 1;
+        }
+    }
+    return flags;
+}
+
+std::pair<Vec3, Vec3> TriMesh::boundingBox() const {
+    Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+    for (const Vec3& v : vertices) {
+        lo.x = std::min(lo.x, v.x);
+        lo.y = std::min(lo.y, v.y);
+        lo.z = std::min(lo.z, v.z);
+        hi.x = std::max(hi.x, v.x);
+        hi.y = std::max(hi.y, v.y);
+        hi.z = std::max(hi.z, v.z);
+    }
+    return {lo, hi};
+}
+
+Vec3 TriMesh::triangleNormal(std::size_t t) const {
+    const auto& tr = triangles[t];
+    const Vec3& a = vertices[static_cast<std::size_t>(tr[0])];
+    const Vec3& b = vertices[static_cast<std::size_t>(tr[1])];
+    const Vec3& c = vertices[static_cast<std::size_t>(tr[2])];
+    const Vec3 n = (b - a).cross(c - a);
+    const double len = n.norm();
+    if (len < 1e-300) return {0.0, 0.0, 0.0};
+    return n * (1.0 / len);
+}
+
+} // namespace tpf::io

@@ -1,0 +1,25 @@
+#pragma once
+/// \file writers.h
+/// File output: Wavefront OBJ (plus a reader for tests), binary STL, and a
+/// legacy-VTK structured-points writer for field volumes (for ParaView-style
+/// inspection of small runs — large runs use the mesh pipeline instead, see
+/// reduction.h).
+
+#include <string>
+
+#include "grid/field.h"
+#include "io/mesh.h"
+
+namespace tpf::io {
+
+void writeObj(const std::string& path, const TriMesh& mesh);
+TriMesh readObj(const std::string& path);
+
+void writeStlBinary(const std::string& path, const TriMesh& mesh);
+
+/// Legacy VTK STRUCTURED_POINTS with one SCALARS array per field component
+/// (interior cells only). Components are named <name>0, <name>1, ...
+void writeVtkField(const std::string& path, const Field<double>& field,
+                   const std::string& name);
+
+} // namespace tpf::io

@@ -1,0 +1,52 @@
+#pragma once
+/// \file flops.h
+/// Documented floating-point operation accounting for the two compute
+/// kernels, used by the roofline analysis (bench_roofline). The paper counts
+/// 1384 FLOPs per cell update for its mu-kernel; these constants itemize the
+/// equivalent counts for this implementation (full kernels, no shortcut
+/// skipping, counting add/sub/mul/div/fma-as-two and the three Newton steps
+/// of each fast inverse square root as 6 flops + seed).
+
+namespace tpf::perf {
+
+/// phi-sweep per-cell flop estimate.
+///
+/// Itemization (N = 4 phases, pairwise loops run over 12 ordered pairs):
+///  - 6 staggered face fluxes: per face 4*(1 add + 1 mul) for pf
+///    + 4*(1 sub + 1 mul) for dp + 12 pairs * 6 flops + 4 muls/scales ~ 94
+///  - divergence: 4 * 6                                               =  24
+///  - central gradients: 3 * 4 * 2                                    =  24
+///  - da/dphi: 12 pairs * (3 dims * 5 + 1) + 4 scales                 = 196
+///  - obstacle: pair sum 12 + per phase (3 adds + ~6)                 ~  48
+///  - driving force: s2 (8), 4 grand potentials * ~14, hbar (8),
+///    dpsi 4 * 4                                                      ~  88
+///  - rhs/update/mean: 4 * 7 + 3                                      ~  31
+///  - simplex projection: sort network 5 cmp + prefix/threshold ~ 20  ~  25
+inline constexpr double kPhiFlopsPerCell =
+    6 * 94.0 + 24 + 24 + 196 + 48 + 88 + 31 + 25; // ~ 1000
+
+/// mu-sweep per-cell flop estimate (with anti-trapping on every face).
+///
+///  - 6 face fluxes, each:
+///     gradient part: mobility sums 4 * 7 + gradients 4 + apply 8    ~  40
+///     anti-trapping: face gradients 4 phases * (1 + 2*4) dims       ~  72
+///       pf/dpdt 16, norms 2 * (5 + rsqrt 8), hl 10,
+///       3 solids * (prod 1 + na2 5 + rsqrt 8 + ndot 7 + pref 5
+///                   + dc 10 + emit 6)                               ~ 173
+///  - divergence 12, sources 4 * 12, susceptibility 12, solve 14,
+///    update 4                                                       ~  90
+/// Total ~ 6 * 285 + 90.
+inline constexpr double kMuFlopsPerCell = 6 * 285.0 + 90; // ~ 1800
+
+/// Bytes that must move between memory and core per cell update under the
+/// paper's caching assumption ("approximately half of the required data for
+/// one update can be held in cache"): the mu-sweep streams mu (2), phi of two
+/// time levels (8) as reads of which half hit cache, plus the mu write.
+///  reads:  (2 mu + 4 phiSrc + 4 phiDst) * 8 B * (1/2 cached)  = 40 B
+///  write:  2 mu * 8 B (+ RFO 16 B)                            = 32 B
+inline constexpr double kMuBytesPerCell = 72.0;
+
+/// Same accounting for the phi-sweep (phi 4 read + 4 write, mu 2 read).
+inline constexpr double kPhiBytesPerCell = (4 + 2) * 8.0 / 2 + 4 * 8 * 2;
+
+} // namespace tpf::perf

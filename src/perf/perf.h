@@ -1,0 +1,36 @@
+#pragma once
+/// \file perf.h
+/// Timing and throughput helpers shared by the benchmark binaries. The
+/// paper's metric is MLUP/s — "million lattice cell updates per second".
+
+#include <chrono>
+
+namespace tpf::perf {
+
+inline double now() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/// Million lattice updates per second.
+inline double mlups(long long cells, long long iterations, double seconds) {
+    return static_cast<double>(cells) * static_cast<double>(iterations) /
+           seconds / 1e6;
+}
+
+/// Run \p fn repeatedly for at least \p minSeconds (after one warmup call);
+/// returns seconds per call.
+template <typename Fn>
+double timeIt(Fn&& fn, double minSeconds = 0.3) {
+    fn(); // warmup
+    const double t0 = now();
+    long long iters = 0;
+    do {
+        fn();
+        ++iters;
+    } while (now() - t0 < minSeconds);
+    return (now() - t0) / static_cast<double>(iters);
+}
+
+} // namespace tpf::perf

@@ -1,0 +1,64 @@
+#include "perf/roofline.h"
+
+#include "perf/perf.h"
+#include "simd/simd.h"
+
+namespace tpf::perf {
+
+RooflineResult evaluateRoofline(const RooflineInput& in) {
+    RooflineResult r;
+    r.arithmeticIntensity = in.flopsPerCell / in.bytesPerCell;
+    r.bandwidthBoundMlups =
+        in.bandwidthGiBs * 1024.0 * 1024.0 * 1024.0 / in.bytesPerCell / 1e6;
+    r.computeBoundMlups = in.peakGflops * 1e9 / in.flopsPerCell / 1e6;
+    r.computeBound = r.computeBoundMlups < r.bandwidthBoundMlups;
+    r.boundMlups = r.computeBound ? r.computeBoundMlups : r.bandwidthBoundMlups;
+    return r;
+}
+
+double measurePeakGflopsPerCore() {
+    using V = simd::Vec4d;
+    // 8 independent accumulator chains of fused multiply-adds: enough ILP to
+    // saturate both FMA ports.
+    V acc0 = V::broadcast(1.0), acc1 = V::broadcast(1.1);
+    V acc2 = V::broadcast(1.2), acc3 = V::broadcast(1.3);
+    V acc4 = V::broadcast(1.4), acc5 = V::broadcast(1.5);
+    V acc6 = V::broadcast(1.6), acc7 = V::broadcast(1.7);
+    const V m = V::broadcast(0.999999999);
+    const V a = V::broadcast(1e-9);
+
+    constexpr long long inner = 200000;
+    auto burst = [&] {
+        for (long long i = 0; i < inner; ++i) {
+            acc0 = V::fmadd(acc0, m, a);
+            acc1 = V::fmadd(acc1, m, a);
+            acc2 = V::fmadd(acc2, m, a);
+            acc3 = V::fmadd(acc3, m, a);
+            acc4 = V::fmadd(acc4, m, a);
+            acc5 = V::fmadd(acc5, m, a);
+            acc6 = V::fmadd(acc6, m, a);
+            acc7 = V::fmadd(acc7, m, a);
+        }
+    };
+
+    burst(); // warmup
+    const double t0 = now();
+    long long bursts = 0;
+    while (now() - t0 < 0.3) {
+        burst();
+        ++bursts;
+    }
+    const double sec = now() - t0;
+
+    // 8 chains * 4 lanes * 2 flops (fma) per iteration.
+    const double flops =
+        static_cast<double>(bursts) * inner * 8.0 * 4.0 * 2.0;
+    // Keep the accumulators alive.
+    volatile double sink = (acc0 + acc1 + acc2 + acc3 + acc4 + acc5 + acc6 +
+                            acc7)
+                               .hsum();
+    (void)sink;
+    return flops / sec / 1e9;
+}
+
+} // namespace tpf::perf

@@ -1,0 +1,30 @@
+#pragma once
+/// \file roofline.h
+/// Roofline performance model (Williams/Waterman/Patterson) as applied in the
+/// paper's §5.1.1: decide whether a kernel is bandwidth- or compute-bound and
+/// compute the corresponding MLUP/s ceilings.
+
+namespace tpf::perf {
+
+struct RooflineInput {
+    double peakGflops = 0.0;    ///< attainable FLOP rate of the core(s)
+    double bandwidthGiBs = 0.0; ///< attainable memory bandwidth (STREAM)
+    double flopsPerCell = 0.0;
+    double bytesPerCell = 0.0;
+};
+
+struct RooflineResult {
+    double arithmeticIntensity = 0.0; ///< flop / byte
+    bool computeBound = false;
+    double bandwidthBoundMlups = 0.0; ///< ceiling if memory were the limit
+    double computeBoundMlups = 0.0;   ///< ceiling if FLOPs were the limit
+    double boundMlups = 0.0;          ///< min of the two
+};
+
+RooflineResult evaluateRoofline(const RooflineInput& in);
+
+/// Measure the attainable double-precision FLOP rate of one core with a
+/// register-resident FMA chain benchmark (8 independent SIMD accumulators).
+double measurePeakGflopsPerCore();
+
+} // namespace tpf::perf

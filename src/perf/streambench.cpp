@@ -1,0 +1,76 @@
+#include "perf/streambench.h"
+
+#include <thread>
+#include <vector>
+
+#include "perf/perf.h"
+#include "util/alignment.h"
+
+namespace tpf::perf {
+
+namespace {
+
+struct Arrays {
+    std::vector<double, AlignedAllocator<double>> a, b, c;
+    explicit Arrays(std::size_t n) : a(n, 1.0), b(n, 2.0), c(n, 0.5) {}
+};
+
+} // namespace
+
+StreamResult runStream(int megabytes, int threads) {
+    const std::size_t n =
+        static_cast<std::size_t>(megabytes) * 1024 * 1024 / sizeof(double);
+    const std::size_t perThread = n / static_cast<std::size_t>(threads);
+
+    std::vector<Arrays> arrays;
+    arrays.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) arrays.emplace_back(perThread);
+
+    auto parallel = [&](auto kernel) {
+        if (threads == 1) {
+            kernel(0);
+            return;
+        }
+        std::vector<std::thread> ts;
+        ts.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t) ts.emplace_back(kernel, t);
+        for (auto& th : ts) th.join();
+    };
+
+    constexpr int reps = 5;
+
+    // Copy: 2 * 8 bytes per element.
+    const double t0 = now();
+    for (int r = 0; r < reps; ++r) {
+        parallel([&](int t) {
+            auto& ar = arrays[static_cast<std::size_t>(t)];
+            double* __restrict dst = ar.c.data();
+            const double* __restrict src = ar.a.data();
+            for (std::size_t i = 0; i < perThread; ++i) dst[i] = src[i];
+        });
+    }
+    const double copySec = now() - t0;
+
+    // Triad: 3 * 8 bytes per element.
+    const double t1 = now();
+    for (int r = 0; r < reps; ++r) {
+        parallel([&](int t) {
+            auto& ar = arrays[static_cast<std::size_t>(t)];
+            double* __restrict dst = ar.a.data();
+            const double* __restrict b = ar.b.data();
+            const double* __restrict c = ar.c.data();
+            for (std::size_t i = 0; i < perThread; ++i)
+                dst[i] = b[i] + 1.000001 * c[i];
+        });
+    }
+    const double triadSec = now() - t1;
+
+    const double bytesPerRep =
+        static_cast<double>(perThread) * threads * sizeof(double);
+    StreamResult res;
+    res.copyGiBs = 2.0 * bytesPerRep * reps / copySec / (1024.0 * 1024 * 1024);
+    res.triadGiBs = 3.0 * bytesPerRep * reps / triadSec / (1024.0 * 1024 * 1024);
+    return res;
+}
+
+} // namespace tpf::perf

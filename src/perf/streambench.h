@@ -1,0 +1,18 @@
+#pragma once
+/// \file streambench.h
+/// STREAM-style memory bandwidth measurement (McCalpin) — the paper measures
+/// "the maximum attainable bandwidth using STREAM on one node" as input to
+/// its roofline analysis (§5.1.1).
+
+namespace tpf::perf {
+
+struct StreamResult {
+    double copyGiBs = 0.0;  ///< c[i] = a[i]
+    double triadGiBs = 0.0; ///< a[i] = b[i] + s * c[i]
+};
+
+/// Run the copy and triad kernels over arrays of \p megabytes MiB each
+/// (default large enough to defeat L3) with \p threads parallel workers.
+StreamResult runStream(int megabytes = 256, int threads = 1);
+
+} // namespace tpf::perf

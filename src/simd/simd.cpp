@@ -1,0 +1,15 @@
+#include "simd/simd.h"
+
+namespace tpf::simd {
+
+std::string backendName() {
+#if defined(__AVX2__)
+    return "AVX2";
+#elif defined(__SSE2__) || defined(_M_X64)
+    return "SSE2";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace tpf::simd

@@ -1,0 +1,42 @@
+#include "thermo/agalcu.h"
+
+namespace tpf::thermo {
+
+TernarySystem makeAgAlCu(double undercoolingStrength) {
+    const double TE = 773.6; // K
+
+    // Curvatures: stiff parabolas keep phase concentrations close to their
+    // equilibrium values; mild off-diagonal coupling in the liquid mimics the
+    // non-ideal ternary interactions of the Calphad description.
+    const Mat2 Kliq{8.0, 1.0, 1.0, 8.0};
+    const Mat2 Ksol{12.0, 0.0, 0.0, 12.0};
+
+    // Driving-force strength per Kelvin of undercooling.
+    const double m = 0.02 * undercoolingStrength;
+
+    std::array<ParabolicPhase, kNumPhases> phases{
+        // Al2Cu (theta): c_Ag ~ 0, c_Cu ~ 1/3.
+        ParabolicPhase(Ksol, Vec2{0.02, 0.32}, Vec2{2e-5, 5e-5}, m, 0.0, TE),
+        // Ag2Al (zeta): c_Ag ~ 2/3, c_Cu ~ 0.
+        ParabolicPhase(Ksol, Vec2{0.66, 0.01}, Vec2{5e-5, 2e-5}, m, 0.0, TE),
+        // fcc-Al (alpha): dilute solution of Ag and Cu in Al.
+        ParabolicPhase(Ksol, Vec2{0.05, 0.03}, Vec2{4e-5, 4e-5}, m, 0.0, TE),
+        // Liquid at the eutectic composition; liquidus slopes steeper than
+        // the solidus slopes of the solids.
+        ParabolicPhase(Kliq, Vec2{0.18, 0.13}, Vec2{4e-4, 3e-4}, 0.0, 0.0, TE),
+    };
+
+    // With xi_l(TE) equal to the eutectic liquid composition, the four-phase
+    // equilibrium sits at muEut = K_l (c* - xi_l) = 0.
+    const Vec2 muEut{0.0, 0.0};
+
+    // Diffusion: solidification is controlled by liquid diffusion; solid-state
+    // diffusion is orders of magnitude slower (the paper neglects evolution in
+    // the solid entirely — the moving window drops solidified material).
+    std::array<double, kNumPhases> D{1e-4, 1e-4, 1e-4, 1.0};
+
+    return TernarySystem(phases, {"Al2Cu", "Ag2Al", "fcc-Al", "liquid"}, TE,
+                         muEut, D);
+}
+
+} // namespace tpf::thermo

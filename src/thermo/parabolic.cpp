@@ -1,0 +1,14 @@
+#include "thermo/parabolic.h"
+
+namespace tpf::thermo {
+
+ParabolicPhase::ParabolicPhase(Mat2 curvature, Vec2 xiAtTref, Vec2 slope,
+                               double mCoeff, double bCoeff, double TrefIn)
+    : K(curvature), Kinv(curvature.inverse()), xi0(xiAtTref), dxidT(slope),
+      m(mCoeff), b(bCoeff), Tref(TrefIn) {
+    TPF_ASSERT(K.isSymmetric(1e-12), "curvature matrix must be symmetric");
+    const auto ev = K.symEigenvalues();
+    TPF_ASSERT(ev[0] > 0.0, "curvature matrix must be positive definite");
+}
+
+} // namespace tpf::thermo

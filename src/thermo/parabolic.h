@@ -1,0 +1,67 @@
+#pragma once
+/// \file parabolic.h
+/// Parabolically fitted Gibbs/free energies and the grand potentials derived
+/// from them.
+///
+/// The paper ("fitted parabolic Gibbs energies ... derived from the
+/// thermodynamic Calphad databases [5]") only ever evaluates the
+/// thermodynamics near the ternary eutectic point, so each phase alpha is
+/// described by
+///
+///   f_alpha(c, T) = 1/2 (c - xi_alpha(T))^T K_alpha (c - xi_alpha(T))
+///                   + m_alpha (T - T_ref) + b_alpha
+///
+/// in the two *independent* concentrations c = (c_Ag, c_Cu) (c_Al follows
+/// from mass conservation). The chemical potential mu = df/dc is then linear,
+/// invertible in closed form, and the grand potential
+/// omega_alpha(mu, T) = f - mu.c is an explicit quadratic in mu — exactly the
+/// structure the optimized kernels exploit.
+
+#include "util/smallmat.h"
+
+namespace tpf::thermo {
+
+/// Number of thermodynamic phases (3 solids + liquid) and chemical species.
+inline constexpr int kNumPhases = 4;
+inline constexpr int kNumComponents = 3;
+/// Index of the liquid phase in all per-phase arrays.
+inline constexpr int kLiquidPhase = 3;
+
+/// One parabolic free-energy description. Immutable after construction.
+struct ParabolicPhase {
+    Mat2 K;       ///< curvature of f in c (SPD)
+    Mat2 Kinv;    ///< cached inverse of K
+    Vec2 xi0;     ///< equilibrium (minimizing) concentration at T = Tref
+    Vec2 dxidT;   ///< temperature slope of the minimum (solidus/liquidus slopes)
+    double m = 0; ///< linear temperature coefficient (entropy-like, drives growth)
+    double b = 0; ///< constant offset, calibrated by TernarySystem
+    double Tref = 1; ///< reference temperature (the eutectic temperature)
+
+    ParabolicPhase() = default;
+    ParabolicPhase(Mat2 curvature, Vec2 xiAtTref, Vec2 slope, double mCoeff,
+                   double bCoeff, double TrefIn);
+
+    /// Minimum position at temperature T.
+    Vec2 xi(double T) const { return xi0 + dxidT * (T - Tref); }
+
+    /// Free energy density at concentration c.
+    double f(Vec2 c, double T) const {
+        const Vec2 d = c - xi(T);
+        return 0.5 * d.dot(K * d) + m * (T - Tref) + b;
+    }
+
+    /// Chemical potential mu = df/dc at concentration c.
+    Vec2 mu(Vec2 c, double T) const { return K * (c - xi(T)); }
+
+    /// Phase concentration as a function of the chemical potential
+    /// (inverse of mu(c)): c_alpha(mu, T) = xi(T) + K^-1 mu.
+    Vec2 cOfMu(Vec2 muv, double T) const { return xi(T) + Kinv * muv; }
+
+    /// Grand potential density omega(mu, T) = f(c(mu)) - mu . c(mu)
+    ///   = -1/2 mu^T K^-1 mu - mu . xi(T) + m (T - Tref) + b.
+    double grandPotential(Vec2 muv, double T) const {
+        return -0.5 * muv.dot(Kinv * muv) - muv.dot(xi(T)) + m * (T - Tref) + b;
+    }
+};
+
+} // namespace tpf::thermo

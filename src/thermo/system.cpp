@@ -1,0 +1,85 @@
+#include "thermo/system.h"
+
+namespace tpf::thermo {
+
+TernarySystem::TernarySystem(std::array<ParabolicPhase, kNumPhases> phases,
+                             std::array<std::string, kNumPhases> phaseNames,
+                             double Teut, Vec2 muEut,
+                             std::array<double, kNumPhases> diffusivity)
+    : phases_(phases), names_(std::move(phaseNames)), Teut_(Teut), muEut_(muEut),
+      D_(diffusivity) {
+    TPF_ASSERT(Teut > 0.0, "eutectic temperature must be positive");
+    for (double d : D_) TPF_ASSERT(d >= 0.0, "diffusivities must be nonnegative");
+    calibrate();
+}
+
+void TernarySystem::calibrate() {
+    // At the four-phase eutectic equilibrium (muEut, Teut) all grand
+    // potentials are equal; fixing the common value to zero removes the
+    // irrelevant energy origin. Only the *differences* enter the driving
+    // force, so this is a pure gauge choice.
+    for (auto& p : phases_) {
+        const double w = p.grandPotential(muEut_, Teut_);
+        p.b -= w;
+    }
+}
+
+Vec2 TernarySystem::mixtureConcentration(const double* h, Vec2 mu,
+                                         double T) const {
+    Vec2 c{0.0, 0.0};
+    for (int a = 0; a < kNumPhases; ++a)
+        c += phases_[static_cast<std::size_t>(a)].cOfMu(mu, T) * h[a];
+    return c;
+}
+
+Mat2 TernarySystem::susceptibility(const double* h) const {
+    Mat2 chi;
+    for (int a = 0; a < kNumPhases; ++a)
+        chi += phases_[static_cast<std::size_t>(a)].Kinv * h[a];
+    return chi;
+}
+
+Mat2 TernarySystem::mobility(const double* phi) const {
+    Mat2 M;
+    for (int a = 0; a < kNumPhases; ++a)
+        M += phases_[static_cast<std::size_t>(a)].Kinv *
+             (phi[a] * D_[static_cast<std::size_t>(a)]);
+    return M;
+}
+
+Vec2 TernarySystem::dcdT(const double* h) const {
+    Vec2 s{0.0, 0.0};
+    for (int a = 0; a < kNumPhases; ++a)
+        s += phases_[static_cast<std::size_t>(a)].dxidT * h[a];
+    return s;
+}
+
+LeverFractions TernarySystem::leverFractions() const {
+    // Mass balance over the three solids against the liquid composition:
+    //   sum_a f_a (c_a - c_2) = c_l - c_2  with f_2 = 1 - f_0 - f_1.
+    const Vec2 cl = cOfPhase(kLiquidPhase, muEut_, Teut_);
+    const Vec2 c0 = cOfPhase(0, muEut_, Teut_);
+    const Vec2 c1 = cOfPhase(1, muEut_, Teut_);
+    const Vec2 c2 = cOfPhase(2, muEut_, Teut_);
+
+    const Mat2 A{c0.x - c2.x, c1.x - c2.x, c0.y - c2.y, c1.y - c2.y};
+    const Vec2 rhs = cl - c2;
+    const Vec2 f01 = A.solve(rhs);
+
+    LeverFractions lf;
+    lf.solid = {f01.x, f01.y, 1.0 - f01.x - f01.y};
+    return lf;
+}
+
+double TernarySystem::maxEffectiveDiffusivity() const {
+    double dmax = 0.0;
+    for (int a = 0; a < kNumPhases; ++a) {
+        const Mat2 DK = phases_[static_cast<std::size_t>(a)].Kinv *
+                        D_[static_cast<std::size_t>(a)];
+        const auto ev = DK.symEigenvalues();
+        dmax = std::max(dmax, std::max(std::abs(ev[0]), std::abs(ev[1])));
+    }
+    return dmax;
+}
+
+} // namespace tpf::thermo

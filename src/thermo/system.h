@@ -1,0 +1,86 @@
+#pragma once
+/// \file system.h
+/// The ternary system: four parabolic phases plus the eutectic-equilibrium
+/// bookkeeping the kernels need (susceptibility, mobility, lever rule,
+/// calibration of the grand-potential offsets).
+
+#include <array>
+#include <string>
+
+#include "thermo/parabolic.h"
+
+namespace tpf::thermo {
+
+/// Equilibrium solid fractions from the lever rule at the eutectic point.
+struct LeverFractions {
+    std::array<double, 3> solid{}; ///< fractions of phases 0..2, sum to 1
+};
+
+class TernarySystem {
+public:
+    /// \param phases    per-phase parabolic descriptions (b offsets are
+    ///                  overwritten by calibration)
+    /// \param Teut      eutectic temperature
+    /// \param muEut     chemical potential of the four-phase equilibrium
+    /// \param diffusivity per-phase diffusion coefficient D_alpha (liquid
+    ///                  large, solids ~0); the mobility is
+    ///                  M(phi, T) = sum_a phi_a D_a K_a^-1
+    TernarySystem(std::array<ParabolicPhase, kNumPhases> phases,
+                  std::array<std::string, kNumPhases> phaseNames, double Teut,
+                  Vec2 muEut, std::array<double, kNumPhases> diffusivity);
+
+    const ParabolicPhase& phase(int a) const {
+        TPF_ASSERT_DBG(a >= 0 && a < kNumPhases, "phase index");
+        return phases_[static_cast<std::size_t>(a)];
+    }
+    const std::string& phaseName(int a) const {
+        return names_[static_cast<std::size_t>(a)];
+    }
+    double Teut() const { return Teut_; }
+    Vec2 muEut() const { return muEut_; }
+    double diffusivity(int a) const { return D_[static_cast<std::size_t>(a)]; }
+
+    /// Grand potential of phase \p a at (mu, T).
+    double omega(int a, Vec2 mu, double T) const {
+        return phase(a).grandPotential(mu, T);
+    }
+
+    /// Concentration of phase \p a at (mu, T).
+    Vec2 cOfPhase(int a, Vec2 mu, double T) const {
+        return phase(a).cOfMu(mu, T);
+    }
+
+    /// Mixture concentration c = sum_a h_a c_a(mu, T) for interpolation
+    /// weights h (length kNumPhases, on the simplex).
+    Vec2 mixtureConcentration(const double* h, Vec2 mu, double T) const;
+
+    /// Susceptibility chi = (dc/dmu)_{T,phi} = sum_a h_a K_a^-1 (SPD).
+    Mat2 susceptibility(const double* h) const;
+
+    /// Mobility M(phi, T) = sum_a phi_a D_a K_a^-1.
+    Mat2 mobility(const double* phi) const;
+
+    /// dc/dT at fixed (mu, phi): sum_a h_a dxi_a/dT.
+    Vec2 dcdT(const double* h) const;
+
+    /// Equilibrium solid phase fractions from the lever rule: solve
+    /// sum_a f_a c_a(muEut, Teut) = c_liquid(muEut, Teut), sum_a f_a = 1.
+    LeverFractions leverFractions() const;
+
+    /// Maximum eigenvalue of any D_a K_a^-1 — the effective diffusivity used
+    /// in the explicit-Euler stability bound for the mu equation.
+    double maxEffectiveDiffusivity() const;
+
+private:
+    /// Shift the b offsets so all grand potentials vanish at (muEut, Teut) —
+    /// the defining property of the four-phase eutectic equilibrium.
+    void calibrate();
+
+    std::array<ParabolicPhase, kNumPhases> phases_;
+    std::array<std::string, kNumPhases> names_;
+    double Teut_;
+    Vec2 muEut_;
+    std::array<double, kNumPhases> D_;
+};
+
+} // namespace tpf::thermo

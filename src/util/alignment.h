@@ -1,0 +1,62 @@
+#pragma once
+/// \file alignment.h
+/// Cache-line/SIMD-aligned allocation helpers and an allocator usable with
+/// standard containers. All field storage in the library is 64-byte aligned so
+/// that SIMD loads of the leading elements of each row can be aligned.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace tpf {
+
+/// Alignment used for all bulk numeric storage (one x86 cache line).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Allocate \p bytes with \ref kCacheLineBytes alignment. Throws std::bad_alloc.
+inline void* alignedAlloc(std::size_t bytes) {
+    if (bytes == 0) bytes = kCacheLineBytes;
+    // std::aligned_alloc requires size to be a multiple of alignment.
+    const std::size_t rounded =
+        (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, rounded);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+
+inline void alignedFree(void* p) noexcept { std::free(p); }
+
+/// STL-compatible allocator with 64-byte alignment.
+template <typename T>
+struct AlignedAllocator {
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+    T* allocate(std::size_t n) {
+        if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+            throw std::bad_alloc{};
+        return static_cast<T*>(alignedAlloc(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t) noexcept { alignedFree(p); }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U>&) const noexcept {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const AlignedAllocator<U>&) const noexcept {
+        return false;
+    }
+};
+
+/// True if \p p is aligned to \p alignment bytes.
+inline bool isAligned(const void* p, std::size_t alignment = kCacheLineBytes) {
+    return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+} // namespace tpf

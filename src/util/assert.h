@@ -1,0 +1,30 @@
+#pragma once
+/// \file assert.h
+/// Lightweight assertion macros. TPF_ASSERT is active in all build types for
+/// cheap invariants (index bounds are guarded by TPF_ASSERT_DBG only in debug
+/// builds, since they sit on the hot path of every field access).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpf {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+    std::fprintf(stderr, "TPF assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+                 line, msg ? msg : "");
+    std::abort();
+}
+
+} // namespace tpf
+
+#define TPF_ASSERT(expr, msg)                                                        \
+    do {                                                                             \
+        if (!(expr)) ::tpf::assertFail(#expr, __FILE__, __LINE__, msg);              \
+    } while (0)
+
+#ifndef NDEBUG
+#define TPF_ASSERT_DBG(expr, msg) TPF_ASSERT(expr, msg)
+#else
+#define TPF_ASSERT_DBG(expr, msg) ((void)0)
+#endif

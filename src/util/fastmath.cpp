@@ -1,0 +1,12 @@
+#include "util/fastmath.h"
+
+namespace tpf {
+
+ReciprocalTable::ReciprocalTable(int maxDenominator) {
+    TPF_ASSERT(maxDenominator >= 1, "ReciprocalTable needs at least one entry");
+    inv_.resize(static_cast<std::size_t>(maxDenominator) + 1, 0.0);
+    for (int d = 1; d <= maxDenominator; ++d)
+        inv_[static_cast<std::size_t>(d)] = 1.0 / static_cast<double>(d);
+}
+
+} // namespace tpf

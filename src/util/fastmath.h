@@ -1,0 +1,69 @@
+#pragma once
+/// \file fastmath.h
+/// Scalar fast-math building blocks used by the compute kernels:
+///  - fast inverse square root (Lomont magic constant + Newton refinement),
+///    used to normalize phase-field gradients in the anti-trapping current;
+///  - a reciprocal lookup table for divisions whose denominator is known to
+///    come from a small set of values (the paper replaces such divisions by
+///    "table lookup and multiplication with the inverse").
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace tpf {
+
+/// Fast approximate 1/sqrt(x) for double precision.
+///
+/// One magic-constant seed (Lomont 2003, 64-bit variant) followed by
+/// \p newtonSteps Newton–Raphson iterations. Two steps give ~1e-6 relative
+/// accuracy, three give ~1e-10 — the kernels use three steps so that kernel
+/// equivalence tests can use tight tolerances while still avoiding the
+/// hardware divide/sqrt latency chain the paper works around.
+template <int newtonSteps = 3>
+inline double fastInvSqrt(double x) {
+    static_assert(newtonSteps >= 0 && newtonSteps <= 4);
+    std::uint64_t i;
+    std::memcpy(&i, &x, sizeof(double));
+    i = 0x5fe6eb50c7b537a9ULL - (i >> 1);
+    double y;
+    std::memcpy(&y, &i, sizeof(double));
+    const double xhalf = 0.5 * x;
+    // Explicit fma pins the floating-point semantics so the scalar helper and
+    // the SIMD backends (which use fnmadd) agree bitwise.
+    for (int k = 0; k < newtonSteps; ++k)
+        y = y * std::fma(-xhalf, y * y, 1.5);
+    return y;
+}
+
+/// Reciprocal table: precomputes 1/v for a fixed set of denominators so the
+/// hot loop replaces a division by an indexed multiply.
+///
+/// The phase-field kernels divide by small integers (phase counts, stencil
+/// weights); indices are the denominators themselves.
+class ReciprocalTable {
+public:
+    /// Build the table for denominators 1..maxDenominator.
+    explicit ReciprocalTable(int maxDenominator);
+
+    /// 1.0 / d, looked up. d must be in [1, maxDenominator].
+    double inv(int d) const {
+        TPF_ASSERT_DBG(d >= 1 && d < static_cast<int>(inv_.size()), "denominator");
+        return inv_[static_cast<std::size_t>(d)];
+    }
+
+    int maxDenominator() const { return static_cast<int>(inv_.size()) - 1; }
+
+private:
+    std::vector<double> inv_;
+};
+
+/// Round \p v up to the next multiple of \p m (m > 0).
+constexpr std::size_t roundUp(std::size_t v, std::size_t m) {
+    return (v + m - 1) / m * m;
+}
+
+} // namespace tpf

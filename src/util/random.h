@@ -1,0 +1,61 @@
+#pragma once
+/// \file random.h
+/// Small, fast, reproducible PRNG (xoshiro256++) used for Voronoi seeding,
+/// test-domain generation and benchmarks. Deterministic across platforms —
+/// important because multi-rank equivalence tests compare runs bitwise.
+
+#include <cstdint>
+
+namespace tpf {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator.
+class Random {
+public:
+    explicit Random(std::uint64_t seed = 0x2545F4914F6CDD1DULL) {
+        std::uint64_t sm = seed;
+        for (auto& si : s_) si = splitmix64(sm);
+    }
+
+    std::uint64_t nextU64() {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniformInt(std::uint64_t n) {
+        // Lemire's nearly-divisionless bounded integers would be overkill here;
+        // modulo bias is irrelevant for our n << 2^64 use cases.
+        return nextU64() % n;
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4];
+};
+
+} // namespace tpf

@@ -1,0 +1,143 @@
+#pragma once
+/// \file smallmat.h
+/// Tiny fixed-size linear algebra for the thermodynamic coupling:
+/// 2-vectors / 2x2 matrices for the K-1 = 2 independent chemical potentials
+/// and 3-vectors for spatial quantities. Everything is constexpr-friendly and
+/// lives in registers; no dynamic allocation.
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace tpf {
+
+/// 2-component vector (chemical potential / concentration space).
+struct Vec2 {
+    double x = 0.0, y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+    constexpr Vec2& operator+=(Vec2 o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr Vec2& operator-=(Vec2 o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+    double norm() const { return std::sqrt(dot(*this)); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// 2x2 matrix, row-major: [[a, b], [c, d]].
+struct Mat2 {
+    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+
+    constexpr Mat2() = default;
+    constexpr Mat2(double a_, double b_, double c_, double d_)
+        : a(a_), b(b_), c(c_), d(d_) {}
+
+    static constexpr Mat2 identity() { return {1.0, 0.0, 0.0, 1.0}; }
+    static constexpr Mat2 diag(double x, double y) { return {x, 0.0, 0.0, y}; }
+
+    constexpr Mat2 operator+(Mat2 o) const {
+        return {a + o.a, b + o.b, c + o.c, d + o.d};
+    }
+    constexpr Mat2 operator-(Mat2 o) const {
+        return {a - o.a, b - o.b, c - o.c, d - o.d};
+    }
+    constexpr Mat2 operator*(double s) const { return {a * s, b * s, c * s, d * s}; }
+    constexpr Mat2& operator+=(Mat2 o) {
+        a += o.a;
+        b += o.b;
+        c += o.c;
+        d += o.d;
+        return *this;
+    }
+    constexpr Vec2 operator*(Vec2 v) const {
+        return {a * v.x + b * v.y, c * v.x + d * v.y};
+    }
+    constexpr Mat2 operator*(Mat2 o) const {
+        return {a * o.a + b * o.c, a * o.b + b * o.d, c * o.a + d * o.c,
+                c * o.b + d * o.d};
+    }
+
+    constexpr double det() const { return a * d - b * c; }
+    constexpr double trace() const { return a + d; }
+
+    /// Inverse; asserts the determinant is safely away from zero.
+    Mat2 inverse() const {
+        const double dt = det();
+        TPF_ASSERT_DBG(std::abs(dt) > 1e-300, "singular 2x2 matrix");
+        const double s = 1.0 / dt;
+        return {d * s, -b * s, -c * s, a * s};
+    }
+
+    /// Solve M x = r without forming the inverse (one division, better rounding).
+    Vec2 solve(Vec2 r) const {
+        const double s = 1.0 / det();
+        return {(d * r.x - b * r.y) * s, (a * r.y - c * r.x) * s};
+    }
+
+    constexpr bool isSymmetric(double tol = 1e-12) const {
+        const double diff = b - c;
+        return diff < tol && diff > -tol;
+    }
+
+    /// Eigenvalues of a symmetric 2x2 matrix, ascending.
+    std::array<double, 2> symEigenvalues() const {
+        const double mean = 0.5 * trace();
+        const double diff = 0.5 * (a - d);
+        const double rad = std::sqrt(diff * diff + b * c);
+        return {mean - rad, mean + rad};
+    }
+
+    /// Eigenvector for eigenvalue \p lambda of a symmetric matrix (normalized).
+    Vec2 symEigenvector(double lambda) const {
+        // (a - lambda) x + b y = 0  ->  (x, y) ~ (-b, a - lambda) or (d - lambda, -c)
+        Vec2 v1{-b, a - lambda};
+        Vec2 v2{d - lambda, -c};
+        Vec2 v = (v1.dot(v1) > v2.dot(v2)) ? v1 : v2;
+        const double n = v.norm();
+        if (n < 1e-300) return {1.0, 0.0}; // matrix is lambda * I
+        return v * (1.0 / n);
+    }
+};
+
+/// 3-component spatial vector.
+struct Vec3 {
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3& operator+=(Vec3 o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+    constexpr Vec3 cross(Vec3 o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double norm2() const { return dot(*this); }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+} // namespace tpf

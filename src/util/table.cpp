@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace tpf {
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::addRow(std::vector<std::string> cells) {
+    TPF_ASSERT(cells.size() == rows_.front().size(),
+               "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(rows_.front().size(), 0);
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            os << rows_[r][c];
+            if (c + 1 < rows_[r].size())
+                os << std::string(width[c] - rows_[r][c].size() + 2, ' ');
+        }
+        os << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < width.size(); ++c)
+                total += width[c] + (c + 1 < width.size() ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+    return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+} // namespace tpf

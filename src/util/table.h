@@ -1,0 +1,32 @@
+#pragma once
+/// \file table.h
+/// Console table printer used by the benchmark binaries to emit the rows /
+/// series of the paper's figures in a uniform, grep-friendly format.
+
+#include <string>
+#include <vector>
+
+namespace tpf {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Add one row; must have the same number of cells as the header.
+    void addRow(std::vector<std::string> cells);
+
+    /// Format a double with \p precision significant decimal digits.
+    static std::string num(double v, int precision = 3);
+
+    /// Render to a string (includes a separator under the header).
+    std::string str() const;
+
+    /// Print to stdout.
+    void print() const;
+
+private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tpf

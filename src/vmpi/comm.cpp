@@ -1,0 +1,211 @@
+#include "vmpi/comm.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace tpf::vmpi {
+
+namespace {
+/// How long a blocking receive may stall before we declare a deadlock.
+/// Generous enough for heavily oversubscribed CI machines; small enough that a
+/// genuinely deadlocked test fails with a diagnostic instead of hanging.
+constexpr auto kRecvTimeout = std::chrono::seconds(120);
+} // namespace
+
+/// Mailbox: the per-rank receive queue.
+class Mailbox {
+public:
+    void push(Message msg) {
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            queue_.push_back(std::move(msg));
+        }
+        cv_.notify_all();
+    }
+
+    /// Pop the first message matching (src, tag); blocks until one arrives.
+    Message pop(int src, int tag) {
+        std::unique_lock<std::mutex> lock(mtx_);
+        for (;;) {
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (it->src == src && it->tag == tag) {
+                    Message m = std::move(*it);
+                    queue_.erase(it);
+                    return m;
+                }
+            }
+            if (cv_.wait_for(lock, kRecvTimeout) == std::cv_status::timeout)
+                TPF_ASSERT(false, "vmpi receive timed out (likely deadlock)");
+        }
+    }
+
+private:
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    std::deque<Message> queue_;
+};
+
+/// Shared state of one virtual MPI world.
+class World {
+public:
+    explicit World(int n) : size_(n), mailboxes_(static_cast<std::size_t>(n)) {
+        for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+    }
+
+    int size() const { return size_; }
+    Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+
+    /// Central sense-reversing barrier.
+    void barrier() {
+        std::unique_lock<std::mutex> lock(barrierMtx_);
+        const std::size_t gen = barrierGen_;
+        if (++barrierCount_ == size_) {
+            barrierCount_ = 0;
+            ++barrierGen_;
+            barrierCv_.notify_all();
+        } else {
+            barrierCv_.wait(lock, [&] { return barrierGen_ != gen; });
+        }
+    }
+
+private:
+    int size_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+    std::mutex barrierMtx_;
+    std::condition_variable barrierCv_;
+    int barrierCount_ = 0;
+    std::size_t barrierGen_ = 0;
+};
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+    TPF_ASSERT(dst >= 0 && dst < size_, "invalid destination rank");
+    Message m;
+    m.src = rank_;
+    m.tag = tag;
+    m.data.resize(bytes);
+    if (bytes > 0) std::memcpy(m.data.data(), data, bytes);
+    world_->mailbox(dst).push(std::move(m));
+}
+
+void Comm::recv(int src, int tag, std::vector<std::byte>& out) {
+    TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
+    out = world_->mailbox(rank_).pop(src, tag).data;
+}
+
+Request Comm::irecv(int src, int tag, std::vector<std::byte>* out) {
+    TPF_ASSERT(out != nullptr, "irecv needs an output buffer");
+    Request r;
+    r.src_ = src;
+    r.tag_ = tag;
+    r.out_ = out;
+    return r;
+}
+
+void Comm::wait(Request& req) {
+    TPF_ASSERT(req.valid(), "waiting on an invalid request");
+    recv(req.src_, req.tag_, *req.out_);
+    req.out_ = nullptr;
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::allreduce(double value,
+                       const std::function<double(double, double)>& op) {
+    constexpr int tagUp = kInternalTagBase - 1;
+    constexpr int tagDown = kInternalTagBase - 2;
+    double result = value;
+    if (rank_ == 0) {
+        // Combine in rank order for bitwise determinism.
+        for (int r = 1; r < size_; ++r)
+            result = op(result, recvValue<double>(r, tagUp));
+        for (int r = 1; r < size_; ++r) sendValue(r, tagDown, result);
+    } else {
+        sendValue(0, tagUp, value);
+        result = recvValue<double>(0, tagDown);
+    }
+    return result;
+}
+
+double Comm::allreduceSum(double v) {
+    return allreduce(v, [](double a, double b) { return a + b; });
+}
+double Comm::allreduceMin(double v) {
+    return allreduce(v, [](double a, double b) { return a < b ? a : b; });
+}
+double Comm::allreduceMax(double v) {
+    return allreduce(v, [](double a, double b) { return a > b ? a : b; });
+}
+
+long long Comm::allreduceSumLL(long long v) {
+    constexpr int tagUp = kInternalTagBase - 3;
+    constexpr int tagDown = kInternalTagBase - 4;
+    long long result = v;
+    if (rank_ == 0) {
+        for (int r = 1; r < size_; ++r) result += recvValue<long long>(r, tagUp);
+        for (int r = 1; r < size_; ++r) sendValue(r, tagDown, result);
+    } else {
+        sendValue(0, tagUp, v);
+        result = recvValue<long long>(0, tagDown);
+    }
+    return result;
+}
+
+std::vector<double> Comm::gather(double v) {
+    constexpr int tagGather = kInternalTagBase - 5;
+    if (rank_ == 0) {
+        std::vector<double> all(static_cast<std::size_t>(size_));
+        all[0] = v;
+        for (int r = 1; r < size_; ++r)
+            all[static_cast<std::size_t>(r)] = recvValue<double>(r, tagGather);
+        return all;
+    }
+    sendValue(0, tagGather, v);
+    return {};
+}
+
+void Comm::bcastBytes(void* data, std::size_t bytes) {
+    constexpr int tagBcast = kInternalTagBase - 6;
+    if (rank_ == 0) {
+        for (int r = 1; r < size_; ++r) send(r, tagBcast, data, bytes);
+    } else {
+        std::vector<std::byte> buf;
+        recv(0, tagBcast, buf);
+        TPF_ASSERT(buf.size() == bytes, "bcast size mismatch");
+        std::memcpy(data, buf.data(), bytes);
+    }
+}
+
+void runParallel(int nranks, const std::function<void(Comm&)>& f) {
+    TPF_ASSERT(nranks >= 1, "need at least one rank");
+    World world(nranks);
+
+    if (nranks == 1) {
+        Comm c(&world, 0, 1);
+        f(c);
+        return;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    std::mutex errMtx;
+    std::exception_ptr firstError;
+
+    for (int r = 0; r < nranks; ++r) {
+        threads.emplace_back([&, r] {
+            try {
+                Comm c(&world, r, nranks);
+                f(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMtx);
+                if (!firstError) firstError = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (firstError) std::rethrow_exception(firstError);
+}
+
+} // namespace tpf::vmpi

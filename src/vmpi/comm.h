@@ -1,0 +1,149 @@
+#pragma once
+/// \file comm.h
+/// Virtual MPI: an MPI-style message-passing layer whose ranks are threads of
+/// one process.
+///
+/// The paper runs waLBerla with one MPI process per core on SuperMUC / Hornet
+/// / JUQUEEN. This repo keeps the exact programming model — ranks, tagged
+/// point-to-point messages, nonblocking receive + wait (for communication
+/// hiding), barriers and deterministic collectives — but transports messages
+/// through in-process mailboxes so the scaling experiments run on a
+/// workstation. See DESIGN.md §2 for the substitution argument.
+///
+/// Semantics:
+///  - send() is buffered: it copies the payload into the destination mailbox
+///    and returns (like MPI_Bsend). There is no rendezvous deadlock.
+///  - recv()/irecv() match by (source rank, tag), FIFO within a match.
+///  - collectives are deterministic: reductions combine in rank order so
+///    multi-rank runs are bitwise reproducible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace tpf::vmpi {
+
+/// A message in flight: payload plus matching metadata.
+struct Message {
+    int src = -1;
+    int tag = -1;
+    std::vector<std::byte> data;
+};
+
+class World; // defined in comm.cpp
+
+/// Handle for a pending nonblocking receive; completed by Comm::wait().
+class Request {
+public:
+    Request() = default;
+
+    bool valid() const { return out_ != nullptr; }
+
+private:
+    friend class Comm;
+    int src_ = -1;
+    int tag_ = -1;
+    std::vector<std::byte>* out_ = nullptr;
+};
+
+/// Per-rank communicator handle. Cheap to copy within the owning rank; must
+/// only be used from the thread that runs that rank.
+class Comm {
+public:
+    int rank() const { return rank_; }
+    int size() const { return size_; }
+    bool isRoot() const { return rank_ == 0; }
+
+    /// Buffered send of \p bytes to \p dst with matching \p tag.
+    void send(int dst, int tag, const void* data, std::size_t bytes);
+
+    template <typename T>
+    void sendValue(int dst, int tag, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        send(dst, tag, &v, sizeof(T));
+    }
+    template <typename T>
+    void sendVector(int dst, int tag, const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        send(dst, tag, v.data(), v.size() * sizeof(T));
+    }
+
+    /// Blocking receive of the next message matching (src, tag).
+    void recv(int src, int tag, std::vector<std::byte>& out);
+
+    template <typename T>
+    T recvValue(int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::vector<std::byte> buf;
+        recv(src, tag, buf);
+        TPF_ASSERT(buf.size() == sizeof(T), "message size mismatch");
+        T v;
+        std::memcpy(&v, buf.data(), sizeof(T));
+        return v;
+    }
+    template <typename T>
+    std::vector<T> recvVector(int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::vector<std::byte> buf;
+        recv(src, tag, buf);
+        TPF_ASSERT(buf.size() % sizeof(T) == 0, "message size mismatch");
+        std::vector<T> v(buf.size() / sizeof(T));
+        std::memcpy(v.data(), buf.data(), buf.size());
+        return v;
+    }
+
+    /// Post a nonblocking receive; the payload lands in *out when wait()s.
+    Request irecv(int src, int tag, std::vector<std::byte>* out);
+
+    /// Complete a pending request (blocking).
+    void wait(Request& req);
+
+    /// Synchronize all ranks.
+    void barrier();
+
+    /// Deterministic all-reduce (combines in rank order on root, broadcasts).
+    double allreduce(double value, const std::function<double(double, double)>& op);
+    double allreduceSum(double v);
+    double allreduceMin(double v);
+    double allreduceMax(double v);
+    long long allreduceSumLL(long long v);
+
+    /// Gather one double per rank to root (rank 0); non-roots get empty vector.
+    std::vector<double> gather(double v);
+
+    /// Broadcast a trivially copyable value from root.
+    template <typename T>
+    T bcast(T v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bcastBytes(&v, sizeof(T));
+        return v;
+    }
+
+private:
+    friend void runParallel(int, const std::function<void(Comm&)>&);
+    Comm(World* w, int rank, int size) : world_(w), rank_(rank), size_(size) {}
+
+    void bcastBytes(void* data, std::size_t bytes);
+
+    World* world_ = nullptr;
+    int rank_ = 0;
+    int size_ = 1;
+};
+
+/// Run \p f on \p nranks virtual ranks (threads). Rank 0 runs on the calling
+/// thread when nranks == 1. Exceptions thrown by any rank are rethrown on the
+/// calling thread after all ranks joined.
+void runParallel(int nranks, const std::function<void(Comm&)>& f);
+
+/// Reserved internal tag base for collectives; user tags must be >= 0.
+inline constexpr int kInternalTagBase = -1000;
+
+} // namespace tpf::vmpi

@@ -1,0 +1,187 @@
+/// Tests for the microstructure analysis module: fractions/profiles,
+/// two-point correlation + PCA, lamella labeling and split/merge tracking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/correlation.h"
+#include "analysis/fractions.h"
+#include "analysis/lamellae.h"
+#include "core/regions.h"
+#include "core/voronoi.h"
+#include "thermo/agalcu.h"
+
+namespace tpf::analysis {
+namespace {
+
+using core::LIQ;
+using core::N;
+
+/// Build a lamellar block: phase stripes along x of the given width, solid
+/// up to zFront, liquid above.
+core::SimBlock makeLamellar(int stripe, Int3 size = {36, 36, 24},
+                            int zFront = 16) {
+    core::SimBlock b(size);
+    Field<double>& phi = b.phiSrc;
+    forEachCell(phi.withGhosts(), [&](int x, int y, int z) {
+        (void)y;
+        for (int a = 0; a < N; ++a) phi(x, y, z, a) = 0.0;
+        if (z >= zFront) {
+            phi(x, y, z, LIQ) = 1.0;
+        } else {
+            const int xi = ((x % size.x) + size.x) % size.x;
+            phi(x, y, z, (xi / stripe) % 3) = 1.0;
+        }
+    });
+    return b;
+}
+
+TEST(Fractions, GlobalAndProfile) {
+    auto b = makeLamellar(12, {36, 36, 24}, 12);
+    const auto f = phaseFractions(b.phiSrc);
+    EXPECT_NEAR(f[LIQ], 0.5, 1e-12); // half the height is liquid
+    EXPECT_NEAR(f[0] + f[1] + f[2], 0.5, 1e-12);
+    EXPECT_NEAR(f[0], f[1], 1e-12); // equal stripes
+
+    const auto prof = zProfile(b.phiSrc);
+    ASSERT_EQ(prof.size(), 24u);
+    EXPECT_NEAR(prof[0][LIQ], 0.0, 1e-12);
+    EXPECT_NEAR(prof[20][LIQ], 1.0, 1e-12);
+}
+
+TEST(Fractions, SolidSlabNormalization) {
+    auto b = makeLamellar(12, {36, 36, 24}, 12);
+    const auto sf = solidFractionsInSlab(b.phiSrc, 0, 11);
+    EXPECT_NEAR(sf[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(sf[1], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(sf[2], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fractions, FrontDetection) {
+    auto b = makeLamellar(12, {36, 36, 24}, 10);
+    EXPECT_EQ(frontZ(b.phiSrc), 9);
+}
+
+TEST(Correlation, S2StartsAtFractionAndOscillatesWithStripePeriod) {
+    auto b = makeLamellar(12); // period 36 in x, each phase 12 wide
+    const auto s2 = twoPointCorrelation(b.phiSrc, 0, 0, 36, 2, 10);
+
+    EXPECT_NEAR(s2[0], 1.0 / 3.0, 1e-12); // S2(0) = phase fraction
+    // Full period: S2(36) = S2(0) for the exactly periodic stripes.
+    EXPECT_NEAR(s2[36], s2[0], 1e-12);
+    // Anti-phase at half period: stripes of width 12 with period 36 do not
+    // overlap themselves at shift 18.
+    EXPECT_LT(s2[18], 0.1);
+}
+
+TEST(Correlation, SpacingEstimateFindsThePeriod) {
+    auto b = makeLamellar(8, {48, 48, 16}, 16); // period 24
+    const auto s2 = twoPointCorrelation(b.phiSrc, 1, 0, 30, 2, 10);
+    const double spacing = lamellarSpacingEstimate(s2);
+    EXPECT_NEAR(spacing, 24.0, 2.0);
+}
+
+TEST(Correlation, YAxisSeesNoStructureForXStripes) {
+    auto b = makeLamellar(12);
+    const auto s2 = twoPointCorrelation(b.phiSrc, 0, 1, 16, 2, 10);
+    // Stripes are uniform along y: S2 is flat at the fraction value.
+    for (double v : s2) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Correlation, PcaDetectsLamellarAnisotropyAndOrientation) {
+    auto b = makeLamellar(12);
+    const int maxShift = 12;
+    const auto map = correlationMap2D(b.phiSrc, 0, 4, maxShift);
+    const auto pca = correlationPca(map, maxShift);
+
+    // Correlation extends along y (stripe direction) and is short along x.
+    EXPECT_GT(pca.lambdaMajor, pca.lambdaMinor);
+    EXPECT_LT(pca.anisotropy(), 0.6);
+    EXPECT_NEAR(std::abs(pca.axisMajor.y), 1.0, 1e-6)
+        << "major axis must align with the stripes";
+}
+
+TEST(Correlation, PcaIsIsotropicForCheckerboardBlobs) {
+    core::SimBlock b({32, 32, 8});
+    Field<double>& phi = b.phiSrc;
+    forEachCell(phi.withGhosts(), [&](int x, int y, int z) {
+        for (int a = 0; a < N; ++a) phi(x, y, z, a) = 0.0;
+        const bool in = ((x / 4) + (y / 4)) % 2 == 0;
+        phi(x, y, z, in ? 0 : LIQ) = 1.0;
+        (void)z;
+    });
+    const auto map = correlationMap2D(phi, 0, 2, 8);
+    const auto pca = correlationPca(map, 8);
+    EXPECT_GT(pca.anisotropy(), 0.8) << "checkerboard is x/y symmetric";
+}
+
+TEST(Lamellae, CountsStripesPerSlice) {
+    auto b = makeLamellar(12, {36, 36, 24}, 16);
+    const auto labels = labelSlice(b.phiSrc, 0, 4);
+    EXPECT_EQ(labels.count, 1) << "one stripe of phase 0 per period";
+    const auto st = analyzeLamellae(b.phiSrc, 0, 0, 15);
+    for (int c : st.countPerSlice) EXPECT_EQ(c, 1);
+    EXPECT_EQ(st.splits, 0);
+    EXPECT_EQ(st.merges, 0);
+}
+
+TEST(Lamellae, PeriodicWrappingJoinsComponents) {
+    core::SimBlock b({16, 16, 4});
+    Field<double>& phi = b.phiSrc;
+    forEachCell(phi.withGhosts(), [&](int x, int y, int z) {
+        (void)y;
+        (void)z;
+        for (int a = 0; a < N; ++a) phi(x, y, z, a) = 0.0;
+        // Two x-bands touching only across the periodic x boundary.
+        const int xi = ((x % 16) + 16) % 16;
+        phi(x, y, z, (xi < 3 || xi >= 13) ? 0 : LIQ) = 1.0;
+    });
+    EXPECT_EQ(labelSlice(phi, 0, 0).count, 1)
+        << "wrapped band must be one component";
+}
+
+TEST(Lamellae, DetectsSplitAndMergeAlongZ) {
+    core::SimBlock b({24, 24, 6});
+    Field<double>& phi = b.phiSrc;
+    forEachCell(phi.withGhosts(), [&](int x, int y, int z) {
+        (void)y;
+        for (int a = 0; a < N; ++a) phi(x, y, z, a) = 0.0;
+        bool in;
+        const int xi = ((x % 24) + 24) % 24;
+        if (z < 2)
+            in = xi >= 4 && xi < 20; // one wide bar
+        else if (z < 4)
+            in = (xi >= 4 && xi < 10) || (xi >= 14 && xi < 20); // two bars
+        else
+            in = xi >= 4 && xi < 20; // merged again
+        phi(x, y, z, in ? 1 : LIQ) = 1.0;
+    });
+    const auto st = analyzeLamellae(phi, 1, 0, 5);
+    EXPECT_EQ(st.countPerSlice[0], 1);
+    EXPECT_EQ(st.countPerSlice[2], 2);
+    EXPECT_EQ(st.countPerSlice[5], 1);
+    EXPECT_GE(st.splits, 1);
+    EXPECT_GE(st.merges, 1);
+}
+
+TEST(Lamellae, RealSimulationHasThreePhaseLamellae) {
+    // Voronoi-initialized solid region: each solid phase forms a plausible
+    // number of lamellae (not 0, not the whole plane).
+    const auto sys = thermo::makeAgAlCu();
+    core::SimBlock b({48, 48, 16});
+    auto bf = BlockForest::createUniform({48, 48, 16}, {48, 48, 16},
+                                         {true, true, false}, 1);
+    core::VoronoiConfig cfg;
+    cfg.fillHeight = 12;
+    core::initVoronoi(b, bf, cfg, sys);
+
+    for (int phase = 0; phase < 3; ++phase) {
+        const auto labels = labelSlice(b.phiSrc, phase, 2);
+        EXPECT_GE(labels.count, 1) << "phase " << phase;
+        EXPECT_LE(labels.count, 40);
+    }
+}
+
+} // namespace
+} // namespace tpf::analysis

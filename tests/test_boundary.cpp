@@ -1,0 +1,164 @@
+/// Tests for domain-boundary handling (Dirichlet / Neumann ghost fills and
+/// their staged composition with the periodic exchange), the frozen
+/// temperature ansatz and the Tz cache.
+
+#include <gtest/gtest.h>
+
+#include "comm/exchange.h"
+#include "core/boundary.h"
+#include "core/temperature.h"
+#include "thermo/agalcu.h"
+
+namespace tpf::core {
+namespace {
+
+TEST(Boundary, NeumannMirrorsInteriorCell) {
+    auto bf = BlockForest::createUniform({8, 8, 8}, {8, 8, 8},
+                                         {true, true, false}, 1);
+    Field<double> f(8, 8, 8, 2, 1, Layout::fzyx);
+    forEachCell(f.interior(), [&](int x, int y, int z) {
+        f(x, y, z, 0) = 100.0 + z;
+        f(x, y, z, 1) = 200.0 + z;
+    });
+
+    FieldBCs bc;
+    bc.kind[4] = BCType::Neumann;
+    applyBoundaries(f, bf, 0, bc);
+
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) {
+            EXPECT_EQ(f(x, y, -1, 0), f(x, y, 0, 0));
+            EXPECT_EQ(f(x, y, -1, 1), f(x, y, 0, 1));
+        }
+}
+
+TEST(Boundary, DirichletPinsFaceValue) {
+    auto bf = BlockForest::createUniform({8, 8, 8}, {8, 8, 8},
+                                         {true, true, false}, 1);
+    Field<double> f(8, 8, 8, 1, 1, Layout::fzyx);
+    f.fill(3.0);
+
+    FieldBCs bc;
+    bc.kind[5] = BCType::Dirichlet;
+    bc.value[5] = {5.0};
+    applyBoundaries(f, bf, 0, bc);
+
+    // ghost = 2 v - interior so the face-centered average equals v.
+    EXPECT_EQ(f(4, 4, 8, 0), 2.0 * 5.0 - 3.0);
+    EXPECT_DOUBLE_EQ(0.5 * (f(4, 4, 8, 0) + f(4, 4, 7, 0)), 5.0);
+}
+
+TEST(Boundary, OnlyDomainBoundaryBlocksAreTouched) {
+    auto bf = BlockForest::createUniform({8, 8, 16}, {8, 8, 8},
+                                         {true, true, false}, 1);
+    Field<double> lower(8, 8, 8, 1, 1, Layout::fzyx);
+    Field<double> upper(8, 8, 8, 1, 1, Layout::fzyx);
+    lower.fill(1.0);
+    upper.fill(1.0);
+    // Mark ghost layers to detect modification.
+    lower(4, 4, 8, 0) = -7.0; // top ghost of the lower block: interior face
+    upper(4, 4, -1, 0) = -7.0;
+
+    FieldBCs bc;
+    bc.kind[4] = BCType::Neumann;
+    bc.kind[5] = BCType::Dirichlet;
+    bc.value[5] = {2.0};
+    applyBoundaries(lower, bf, 0, bc);
+    applyBoundaries(upper, bf, 1, bc);
+
+    EXPECT_EQ(lower(4, 4, 8, 0), -7.0) << "interior face must not be filled";
+    EXPECT_EQ(upper(4, 4, -1, 0), -7.0);
+    EXPECT_EQ(lower(4, 4, -1, 0), lower(4, 4, 0, 0)); // Neumann bottom
+    EXPECT_EQ(upper(4, 4, 8, 0), 2.0 * 2.0 - 1.0);    // Dirichlet top
+}
+
+TEST(Boundary, StagedApplicationCoversEdgeGhostsAfterExchange) {
+    // x periodic (exchange with edge offsets), z Dirichlet: the edge ghost
+    // region (x-ghost, z-ghost) must be filled consistently — the z pass runs
+    // over the x-extended range and reads exchange-filled x-ghosts.
+    auto bf = BlockForest::createUniform({8, 8, 8}, {8, 8, 8},
+                                         {true, true, false}, 1);
+    Field<double> f(8, 8, 8, 1, 1, Layout::fzyx);
+    forEachCell(f.interior(), [&](int x, int y, int z) {
+        f(x, y, z, 0) = x + 10.0 * y + 100.0 * z;
+    });
+
+    GhostExchange ex(bf, nullptr, StencilKind::D3C19, 0);
+    ex.registerField(0, &f);
+    ex.communicate();
+
+    FieldBCs bc;
+    bc.kind[4] = BCType::Neumann;
+    bc.kind[5] = BCType::Neumann;
+    applyBoundaries(f, bf, 0, bc);
+
+    // Edge ghost (x=-1, z=8): Neumann in z of the periodic x-ghost column.
+    EXPECT_EQ(f(-1, 3, 8, 0), f(-1, 3, 7, 0));
+    EXPECT_EQ(f(-1, 3, 7, 0), 7.0 + 30.0 + 700.0); // wrapped x = 7
+    // Edge ghost (x=8, z=-1).
+    EXPECT_EQ(f(8, 5, -1, 0), f(8, 5, 0, 0));
+    EXPECT_EQ(f(8, 5, 0, 0), 0.0 + 50.0 + 0.0); // wrapped x = 0
+}
+
+// --- frozen temperature / Tz cache ---
+
+TEST(Temperature, GradientAndVelocityDefineTheField) {
+    TemperatureParams p;
+    p.TE = 700.0;
+    p.gradient = 2.0;
+    p.velocity = 0.5;
+    p.zEut0 = 10.0;
+    FrozenTemperature T(p);
+
+    // At t=0 the eutectic isotherm sits at cell-center z = 9.5.
+    EXPECT_NEAR(T.atCell(9, 0.0, 0.0), 700.0 - 2.0 * 0.5, 1e-12);
+    EXPECT_NEAR(T.atCell(10, 0.0, 0.0), 700.0 + 2.0 * 0.5, 1e-12);
+    // Below: colder; above: hotter.
+    EXPECT_LT(T.atCell(0, 0.0, 0.0), 700.0);
+    EXPECT_GT(T.atCell(20, 0.0, 0.0), 700.0);
+    // The isotherm moves up with velocity v.
+    EXPECT_LT(T.atCell(10, 4.0, 0.0), T.atCell(10, 0.0, 0.0));
+    EXPECT_NEAR(T.eutecticIsothermZ(4.0, 0.0), 10.0 + 0.5 * 4.0 - 0.5, 1e-12);
+    // dT/dt = -G v.
+    EXPECT_DOUBLE_EQ(T.dTdt(), -1.0);
+    // The window offset shifts the frame.
+    EXPECT_DOUBLE_EQ(T.atCell(10, 0.0, 3.0), T.atCell(13, 0.0, 0.0));
+}
+
+TEST(Temperature, TzCacheMatchesDirectEvaluation) {
+    const auto sys = thermo::makeAgAlCu();
+    ModelParams prm = ModelParams::defaults();
+    prm.temp.gradient = 0.7;
+    const auto mc = ModelConsts::build(prm, sys);
+    FrozenTemperature T(prm.temp);
+
+    TzCache tz;
+    tz.build(mc, T, /*originZ=*/32, /*nz=*/16, /*t=*/2.5, /*woff=*/4.0);
+    for (int z = -1; z <= 16; ++z) {
+        const SliceThermo direct =
+            computeSliceThermo(mc, T.atCell(32 + z, 2.5, 4.0));
+        const SliceThermo& cached = tz.at(z);
+        EXPECT_EQ(cached.T, direct.T);
+        EXPECT_EQ(cached.Tt, direct.Tt);
+        for (int a = 0; a < N; ++a) {
+            EXPECT_EQ(cached.xix[a], direct.xix[a]);
+            EXPECT_EQ(cached.xiy[a], direct.xiy[a]);
+            EXPECT_EQ(cached.om[a], direct.om[a]);
+        }
+    }
+}
+
+TEST(Temperature, SliceThermoIsLinearInT) {
+    const auto sys = thermo::makeAgAlCu();
+    const auto mc = ModelConsts::build(ModelParams::defaults(), sys);
+    const SliceThermo a = computeSliceThermo(mc, 770.0);
+    const SliceThermo b = computeSliceThermo(mc, 774.0);
+    const SliceThermo mid = computeSliceThermo(mc, 772.0);
+    for (int ph = 0; ph < N; ++ph) {
+        EXPECT_NEAR(0.5 * (a.xix[ph] + b.xix[ph]), mid.xix[ph], 1e-15);
+        EXPECT_NEAR(0.5 * (a.om[ph] + b.om[ph]), mid.om[ph], 1e-15);
+    }
+}
+
+} // namespace
+} // namespace tpf::core

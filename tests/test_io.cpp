@@ -1,0 +1,214 @@
+/// Tests for checkpointing (single-precision, per-rank files, restore
+/// continuation) and the file writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "io/checkpoint.h"
+#include "io/writers.h"
+
+namespace tpf::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::SolverConfig testConfig() {
+    core::SolverConfig cfg;
+    cfg.globalCells = {24, 24, 32};
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.zEut0 = 16.0;
+    cfg.model.temp.velocity = 0.02;
+    cfg.init.fillHeight = 8;
+    return cfg;
+}
+
+struct TempDir {
+    fs::path path;
+    TempDir() {
+        path = fs::temp_directory_path() /
+               ("tpf_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter()));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    static int counter() {
+        static int c = 0;
+        return c++;
+    }
+};
+
+TEST(Checkpoint, RoundTripPreservesStateToFloatPrecision) {
+    TempDir dir;
+    core::Solver a(testConfig());
+    a.initialize();
+    a.run(40);
+    saveCheckpoint(dir.path.string(), a);
+
+    core::Solver b(testConfig());
+    b.initialize(); // different state before load
+    loadCheckpoint(dir.path.string(), b);
+
+    EXPECT_EQ(b.time(), a.time());
+    EXPECT_EQ(b.windowOffsetCells(), a.windowOffsetCells());
+
+    auto& ba = *a.localBlocks().front();
+    auto& bb = *b.localBlocks().front();
+    double maxDiff = 0.0;
+    forEachCell(ba.phiSrc.interior(), [&](int x, int y, int z) {
+        for (int f = 0; f < core::N; ++f)
+            maxDiff = std::max(maxDiff, std::abs(ba.phiSrc(x, y, z, f) -
+                                                 bb.phiSrc(x, y, z, f)));
+        for (int f = 0; f < core::KC; ++f)
+            maxDiff = std::max(maxDiff, std::abs(ba.muSrc(x, y, z, f) -
+                                                 bb.muSrc(x, y, z, f)));
+    });
+    // Single-precision storage: values match to float epsilon.
+    EXPECT_LT(maxDiff, 1e-6);
+    EXPECT_GT(maxDiff, 0.0) << "float rounding should be visible";
+}
+
+TEST(Checkpoint, RestartContinuesTheSimulation) {
+    TempDir dir;
+    // Reference: 60 uninterrupted steps.
+    core::Solver ref(testConfig());
+    ref.initialize();
+    ref.run(60);
+    const auto refFr = ref.phaseFractions();
+
+    // Interrupted: 30 steps, checkpoint, restore, 30 more.
+    core::Solver first(testConfig());
+    first.initialize();
+    first.run(30);
+    saveCheckpoint(dir.path.string(), first);
+
+    core::Solver second(testConfig());
+    second.initialize();
+    loadCheckpoint(dir.path.string(), second);
+    second.run(30);
+
+    EXPECT_NEAR(second.time(), ref.time(), 1e-12);
+    const auto fr = second.phaseFractions();
+    // The float32 rounding at the checkpoint perturbs the state slightly;
+    // integral quantities must still agree closely.
+    for (int a = 0; a < core::N; ++a)
+        EXPECT_NEAR(fr[static_cast<std::size_t>(a)],
+                    refFr[static_cast<std::size_t>(a)], 1e-4);
+}
+
+TEST(Checkpoint, MetaReadback) {
+    TempDir dir;
+    core::Solver s(testConfig());
+    s.initialize();
+    s.run(5);
+    saveCheckpoint(dir.path.string(), s);
+
+    const CheckpointMeta meta = readCheckpointMeta(dir.path.string());
+    EXPECT_EQ(meta.time, s.time());
+    EXPECT_EQ(meta.globalCells, (Int3{24, 24, 32}));
+    EXPECT_EQ(meta.numRanks, 1);
+}
+
+TEST(Checkpoint, MultiRankSaveAndLoad) {
+    TempDir dir;
+    auto cfg = testConfig();
+    cfg.blockSize = {24, 24, 8};
+    std::array<double, core::N> savedFr{};
+    vmpi::runParallel(4, [&](vmpi::Comm& comm) {
+        core::Solver s(cfg, &comm);
+        s.initialize();
+        s.run(20);
+        const auto fr = s.phaseFractions();
+        if (comm.isRoot()) savedFr = fr;
+        saveCheckpoint(dir.path.string(), s);
+        comm.barrier();
+
+        core::Solver t(cfg, &comm);
+        t.initialize();
+        loadCheckpoint(dir.path.string(), t);
+        const auto fr2 = t.phaseFractions();
+        for (int a = 0; a < core::N; ++a)
+            EXPECT_NEAR(fr2[static_cast<std::size_t>(a)],
+                        fr[static_cast<std::size_t>(a)], 1e-6);
+    });
+    // Four rank files must exist.
+    for (int r = 0; r < 4; ++r)
+        EXPECT_TRUE(fs::exists(dir.path / ("rank_" + std::to_string(r) +
+                                           ".tpfchk")));
+}
+
+TEST(Checkpoint, SizeIsSinglePrecision) {
+    TempDir dir;
+    core::Solver s(testConfig());
+    s.initialize();
+    saveCheckpoint(dir.path.string(), s);
+
+    const auto expected = checkpointBytes(s);
+    const auto actual = fs::file_size(dir.path / "rank_0.tpfchk");
+    EXPECT_EQ(actual, expected);
+    // 6 floats per cell — half of the 6 doubles of the live state.
+    const std::size_t cells = 24 * 24 * 32;
+    EXPECT_NEAR(static_cast<double>(actual),
+                static_cast<double>(cells * 6 * sizeof(float)),
+                1024.0);
+}
+
+// --- writers ---
+
+TriMesh unitTriangle() {
+    TriMesh m;
+    m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+    m.triangles = {{0, 1, 2}};
+    return m;
+}
+
+TEST(Writers, ObjRoundTrip) {
+    TempDir dir;
+    TriMesh m = unitTriangle();
+    m.vertices.push_back({0.25, 0.25, 1.5});
+    m.triangles.push_back({0, 1, 3});
+
+    const std::string path = (dir.path / "mesh.obj").string();
+    writeObj(path, m);
+    const TriMesh back = readObj(path);
+
+    ASSERT_EQ(back.numVertices(), m.numVertices());
+    ASSERT_EQ(back.numTriangles(), m.numTriangles());
+    for (std::size_t i = 0; i < m.vertices.size(); ++i) {
+        EXPECT_NEAR(back.vertices[i].x, m.vertices[i].x, 1e-7);
+        EXPECT_NEAR(back.vertices[i].z, m.vertices[i].z, 1e-7);
+    }
+    EXPECT_EQ(back.triangles, m.triangles);
+}
+
+TEST(Writers, StlBinaryHasCorrectSize) {
+    TempDir dir;
+    const TriMesh m = unitTriangle();
+    const std::string path = (dir.path / "mesh.stl").string();
+    writeStlBinary(path, m);
+    // 80-byte header + 4-byte count + 50 bytes per triangle.
+    EXPECT_EQ(fs::file_size(path), 80u + 4u + 50u * m.numTriangles());
+}
+
+TEST(Writers, VtkFieldContainsHeaderAndData) {
+    TempDir dir;
+    Field<double> f(4, 3, 2, 2, 1, Layout::fzyx);
+    f.fill(1.25);
+    const std::string path = (dir.path / "field.vtk").string();
+    writeVtkField(path, f, "phi");
+
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("STRUCTURED_POINTS"), std::string::npos);
+    EXPECT_NE(content.find("DIMENSIONS 4 3 2"), std::string::npos);
+    EXPECT_NE(content.find("SCALARS phi0"), std::string::npos);
+    EXPECT_NE(content.find("SCALARS phi1"), std::string::npos);
+    EXPECT_NE(content.find("1.25"), std::string::npos);
+}
+
+} // namespace
+} // namespace tpf::io

@@ -1,0 +1,167 @@
+/// Tests for weighted load balancing: the exact linear partitioning of
+/// blocks to ranks by work weights, and the region-based block cost model
+/// (paper §5.1.2: "We experimented with various load balancing techniques
+/// offered by the waLBerla framework").
+
+#include <gtest/gtest.h>
+
+#include "core/regions.h"
+#include "grid/block_forest.h"
+#include "thermo/agalcu.h"
+#include "util/random.h"
+
+namespace tpf {
+namespace {
+
+std::vector<double> rankLoads(const BlockForest& bf) {
+    std::vector<double> loads(static_cast<std::size_t>(bf.numRanks()));
+    for (int r = 0; r < bf.numRanks(); ++r)
+        loads[static_cast<std::size_t>(r)] = bf.rankLoad(r);
+    return loads;
+}
+
+void expectValidPartition(const BlockForest& bf) {
+    // Every block owned by exactly one rank; ranks contiguous in the linear
+    // order; every rank owns at least one block.
+    int prevRank = 0;
+    std::vector<int> counts(static_cast<std::size_t>(bf.numRanks()), 0);
+    for (int b = 0; b < bf.numBlocks(); ++b) {
+        const int r = bf.rankOf(b);
+        ASSERT_GE(r, prevRank) << "ranks must be contiguous in block order";
+        ASSERT_LE(r, prevRank + 1);
+        ASSERT_LT(r, bf.numRanks());
+        prevRank = r;
+        ++counts[static_cast<std::size_t>(r)];
+    }
+    for (int c : counts) EXPECT_GE(c, 1) << "every rank needs a block";
+}
+
+TEST(WeightedBalance, UniformWeightsMatchEqualSplit) {
+    const std::vector<double> weights(12, 1.0);
+    auto bf = BlockForest::createUniformWeighted({24, 24, 96}, {24, 24, 8},
+                                                 {true, true, false}, 4,
+                                                 weights);
+    expectValidPartition(bf);
+    for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(bf.rankLoad(r), 3.0);
+}
+
+TEST(WeightedBalance, HeavyBlockGetsItsOwnRank) {
+    // One block is 10x the cost of the others: the optimum gives it a
+    // dedicated rank and spreads the rest.
+    std::vector<double> weights(8, 1.0);
+    weights[3] = 10.0;
+    auto bf = BlockForest::createUniformWeighted({16, 16, 128}, {16, 16, 16},
+                                                 {true, true, false}, 4,
+                                                 weights);
+    expectValidPartition(bf);
+    const auto loads = rankLoads(bf);
+    const double maxLoad = *std::max_element(loads.begin(), loads.end());
+    EXPECT_DOUBLE_EQ(maxLoad, 10.0) << "bottleneck must be the heavy block";
+    // The heavy block's rank owns only that block.
+    const int heavyRank = bf.rankOf(3);
+    EXPECT_EQ(bf.localBlocks(heavyRank).size(), 1u);
+}
+
+TEST(WeightedBalance, BottleneckIsMinimalOnRandomWeights) {
+    Random rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 16;
+        const int ranks = 1 + static_cast<int>(rng.uniformInt(6));
+        std::vector<double> weights(static_cast<std::size_t>(n));
+        for (auto& w : weights) w = rng.uniform(0.1, 5.0);
+
+        auto bf = BlockForest::createUniformWeighted(
+            {8, 8, 8 * n}, {8, 8, 8}, {true, true, false}, ranks, weights);
+        expectValidPartition(bf);
+        const auto loads = rankLoads(bf);
+        const double maxLoad = *std::max_element(loads.begin(), loads.end());
+
+        // Compare against brute-force optimal bottleneck over contiguous
+        // partitions (dynamic programming).
+        std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+        for (int i = 0; i < n; ++i)
+            prefix[static_cast<std::size_t>(i) + 1] =
+                prefix[static_cast<std::size_t>(i)] +
+                weights[static_cast<std::size_t>(i)];
+        // dp[k][i] = minimal bottleneck splitting first i blocks into k parts
+        std::vector<std::vector<double>> dp(
+            static_cast<std::size_t>(ranks) + 1,
+            std::vector<double>(static_cast<std::size_t>(n) + 1, 1e300));
+        for (int i = 1; i <= n; ++i)
+            dp[1][static_cast<std::size_t>(i)] =
+                prefix[static_cast<std::size_t>(i)];
+        for (int k = 2; k <= ranks; ++k)
+            for (int i = k; i <= n; ++i)
+                for (int j = k - 1; j < i; ++j)
+                    dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] =
+                        std::min(dp[static_cast<std::size_t>(k)]
+                                   [static_cast<std::size_t>(i)],
+                                 std::max(dp[static_cast<std::size_t>(k - 1)]
+                                            [static_cast<std::size_t>(j)],
+                                          prefix[static_cast<std::size_t>(i)] -
+                                              prefix[static_cast<std::size_t>(
+                                                  j)]));
+        const double optimal =
+            dp[static_cast<std::size_t>(ranks)][static_cast<std::size_t>(n)];
+        EXPECT_NEAR(maxLoad, optimal, 1e-9 * optimal)
+            << "partition must achieve the optimal bottleneck (trial " << trial
+            << ", ranks " << ranks << ")";
+    }
+}
+
+TEST(WeightedBalance, ZeroWeightBlocksAreAssigned) {
+    std::vector<double> weights(6, 0.0);
+    weights[0] = 1.0;
+    auto bf = BlockForest::createUniformWeighted({8, 8, 48}, {8, 8, 8},
+                                                 {true, true, false}, 3,
+                                                 weights);
+    expectValidPartition(bf);
+}
+
+TEST(BlockCost, RegionCompositionDrivesTheEstimate) {
+    const auto sys = thermo::makeAgAlCu();
+    const double eps = 4.0;
+
+    core::SimBlock liquid({24, 24, 24});
+    core::fillScenario(liquid, core::Scenario::Liquid, sys, eps);
+    core::SimBlock interface({24, 24, 24});
+    core::fillScenario(interface, core::Scenario::Interface, sys, eps);
+
+    const double cLiq =
+        core::estimateBlockCost(core::classifyBlock(liquid.phiSrc));
+    const double cInt =
+        core::estimateBlockCost(core::classifyBlock(interface.phiSrc));
+    EXPECT_DOUBLE_EQ(cLiq, 1.0) << "pure bulk normalizes to 1";
+    EXPECT_GT(cInt, 1.2) << "front blocks must cost more";
+    EXPECT_LT(cInt, 3.5);
+}
+
+TEST(BlockCost, WeightedForestBalancesAFrontDomain) {
+    // A domain whose middle slab is interface-heavy: weighted assignment
+    // should give the middle ranks fewer blocks.
+    const int nb = 12;
+    std::vector<double> weights;
+    for (int b = 0; b < nb; ++b)
+        weights.push_back((b >= 5 && b <= 7) ? 3.0 : 1.0);
+
+    auto plain = BlockForest::createUniform({16, 16, 16 * nb}, {16, 16, 16},
+                                            {true, true, false}, 4);
+    auto balanced = BlockForest::createUniformWeighted(
+        {16, 16, 16 * nb}, {16, 16, 16}, {true, true, false}, 4, weights);
+
+    auto maxLoad = [&](const BlockForest& bf) {
+        double m = 0.0;
+        for (int r = 0; r < 4; ++r) {
+            double load = 0.0;
+            for (int b : bf.localBlocks(r))
+                load += weights[static_cast<std::size_t>(b)];
+            m = std::max(m, load);
+        }
+        return m;
+    };
+    EXPECT_LT(maxLoad(balanced), maxLoad(plain))
+        << "weighted partition must reduce the bottleneck";
+}
+
+} // namespace
+} // namespace tpf

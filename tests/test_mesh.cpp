@@ -1,0 +1,256 @@
+/// Tests for the surface-mesh pipeline: iso-surface extraction (geometry,
+/// watertightness, block stitching), quadric simplification (error bounds,
+/// boundary preservation) and the hierarchical reduction over ranks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/exchange.h"
+#include "io/marching_cubes.h"
+#include "io/reduction.h"
+#include "io/simplify.h"
+#include "vmpi/comm.h"
+
+namespace tpf::io {
+namespace {
+
+/// Fill component \p c of \p f (including ghosts) with a signed sphere field:
+/// value 1 inside radius r around center, 0 outside, smooth across ~2 cells.
+void fillSphere(Field<double>& f, int c, Vec3 center, double r, Vec3 origin) {
+    forEachCell(f.withGhosts(), [&](int x, int y, int z) {
+        const Vec3 p{origin.x + x + 0.5, origin.y + y + 0.5, origin.z + z + 0.5};
+        const double d = (p - center).norm() - r;
+        f(x, y, z, c) = 1.0 / (1.0 + std::exp(2.0 * d));
+    });
+}
+
+TEST(IsoSurface, SphereIsClosedWithEulerCharacteristic2) {
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 8.0, {0, 0, 0});
+
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    ASSERT_GT(m.numTriangles(), 100u);
+    EXPECT_TRUE(m.isClosed()) << "sphere surface must be watertight";
+    EXPECT_EQ(m.eulerCharacteristic(), 2) << "sphere has genus 0";
+}
+
+TEST(IsoSurface, SphereAreaMatchesAnalytic) {
+    Field<double> f(40, 40, 40, 1, 1, Layout::fzyx);
+    const double r = 10.0;
+    fillSphere(f, 0, {20, 20, 20}, r, {0, 0, 0});
+
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    const double analytic = 4.0 * M_PI * r * r;
+    EXPECT_NEAR(m.totalArea(), analytic, 0.05 * analytic);
+}
+
+TEST(IsoSurface, VerticesLieOnTheIsoSurface) {
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    const double r = 9.0;
+    fillSphere(f, 0, {16, 16, 16}, r, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    for (const Vec3& v : m.vertices) {
+        const double d = (v - Vec3{16, 16, 16}).norm();
+        EXPECT_NEAR(d, r, 0.6) << "vertex far from the analytic surface";
+    }
+}
+
+TEST(IsoSurface, EmptyFieldProducesEmptyMesh) {
+    Field<double> f(8, 8, 8, 1, 1, Layout::fzyx);
+    f.fill(0.0);
+    EXPECT_TRUE(extractIsoSurface(f, 0, 0.5, {0, 0, 0}).empty());
+    f.fill(1.0);
+    EXPECT_TRUE(extractIsoSurface(f, 0, 0.5, {0, 0, 0}).empty());
+}
+
+TEST(IsoSurface, PerBlockExtractionStitchesToClosedSurface) {
+    // The same sphere extracted from two half-domain blocks (with correct
+    // ghost values) must stitch into one watertight mesh — the property the
+    // per-block ghost extension exists for.
+    const Vec3 center{16, 16, 16};
+    const double r = 9.0;
+
+    Field<double> lower(32, 32, 16, 1, 1, Layout::fzyx);
+    Field<double> upper(32, 32, 16, 1, 1, Layout::fzyx);
+    fillSphere(lower, 0, center, r, {0, 0, 0});
+    fillSphere(upper, 0, center, r, {0, 0, 16});
+
+    TriMesh a = extractIsoSurface(lower, 0, 0.5, {0, 0, 0});
+    TriMesh b = extractIsoSurface(upper, 0, 0.5, {0, 0, 16});
+    EXPECT_FALSE(a.isClosed()) << "half-sphere has an open rim";
+
+    a.append(b);
+    a.weldVertices(1e-6);
+    EXPECT_TRUE(a.isClosed()) << "stitched halves must be watertight";
+    EXPECT_EQ(a.eulerCharacteristic(), 2);
+}
+
+TEST(Mesh, WeldMergesDuplicates) {
+    TriMesh m;
+    m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                  {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    m.triangles = {{0, 1, 2}, {3, 5, 4}};
+    m.weldVertices(1e-9);
+    EXPECT_EQ(m.numVertices(), 4u);
+    EXPECT_EQ(m.numTriangles(), 2u);
+}
+
+TEST(Mesh, WeldDropsDegenerateTriangles) {
+    TriMesh m;
+    m.vertices = {{0, 0, 0}, {1e-12, 0, 0}, {0, 1, 0}};
+    m.triangles = {{0, 1, 2}};
+    m.weldVertices(1e-6);
+    EXPECT_EQ(m.numTriangles(), 0u);
+}
+
+// --- simplification ---
+
+TEST(Simplify, ReachesTargetTriangleCount) {
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    const std::size_t before = m.numTriangles();
+    ASSERT_GT(before, 1000u);
+
+    SimplifyOptions opt;
+    opt.targetTriangles = 300;
+    simplifyMesh(m, opt);
+    EXPECT_LE(m.numTriangles(), 320u);
+    EXPECT_GT(m.numTriangles(), 50u);
+}
+
+TEST(Simplify, CoarsenedSphereStaysOnTheSphere) {
+    Field<double> f(40, 40, 40, 1, 1, Layout::fzyx);
+    const double r = 11.0;
+    fillSphere(f, 0, {20, 20, 20}, r, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+
+    SimplifyOptions opt;
+    opt.targetTriangles = 400;
+    simplifyMesh(m, opt);
+
+    // Quadric-optimal placement keeps vertices near the original surface,
+    // and the area must be approximately preserved.
+    for (const Vec3& v : m.vertices)
+        EXPECT_NEAR((v - Vec3{20, 20, 20}).norm(), r, 1.0);
+    EXPECT_NEAR(m.totalArea(), 4.0 * M_PI * r * r, 0.10 * 4.0 * M_PI * r * r);
+}
+
+TEST(Simplify, ClosedSurfaceStaysClosed) {
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    SimplifyOptions opt;
+    opt.targetTriangles = 500;
+    simplifyMesh(m, opt);
+    EXPECT_TRUE(m.isClosed());
+    EXPECT_EQ(m.eulerCharacteristic(), 2);
+}
+
+TEST(Simplify, LockedVerticesStayPut) {
+    // Half-sphere extracted from one block; vertices on the block boundary
+    // plane z = 16.5 are locked (the hierarchical scheme's high weight).
+    Field<double> lower(32, 32, 16, 1, 1, Layout::fzyx);
+    fillSphere(lower, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(lower, 0, 0.5, {0, 0, 0});
+
+    // Record boundary vertices (on the top ghost plane of the block).
+    const double boundaryZ = 16.5;
+    std::vector<Vec3> boundaryBefore;
+    for (const Vec3& v : m.vertices)
+        if (std::abs(v.z - boundaryZ) < 1e-6) boundaryBefore.push_back(v);
+    ASSERT_GT(boundaryBefore.size(), 10u);
+
+    SimplifyOptions opt;
+    opt.targetTriangles = m.numTriangles() / 6;
+    opt.lockedVertex = [&](const Vec3& v) {
+        return std::abs(v.z - boundaryZ) < 1e-6;
+    };
+    simplifyMesh(m, opt);
+
+    // Every original boundary vertex position must still exist.
+    std::size_t found = 0;
+    for (const Vec3& b : boundaryBefore)
+        for (const Vec3& v : m.vertices)
+            if ((v - b).norm() < 1e-6) {
+                ++found;
+                break;
+            }
+    EXPECT_EQ(found, boundaryBefore.size())
+        << "locked boundary vertices must survive simplification";
+}
+
+TEST(Simplify, MaxErrorBoundStopsEarly) {
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    const std::size_t before = m.numTriangles();
+
+    SimplifyOptions opt;
+    opt.targetTriangles = 1;     // no count limit in practice
+    opt.maxError = 1e-9;         // but an extremely tight error bound
+    simplifyMesh(m, opt);
+    // Only near-zero-error collapses (coplanar patches) are allowed.
+    EXPECT_GT(m.numTriangles(), before / 3);
+}
+
+// --- serialization + hierarchical reduction ---
+
+TEST(Reduction, MeshSerializationRoundTrip) {
+    Field<double> f(16, 16, 16, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {8, 8, 8}, 5.0, {0, 0, 0});
+    const TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+
+    const TriMesh back = deserializeMesh(serializeMesh(m));
+    ASSERT_EQ(back.numVertices(), m.numVertices());
+    ASSERT_EQ(back.numTriangles(), m.numTriangles());
+    EXPECT_EQ(back.triangles, m.triangles);
+    for (std::size_t i = 0; i < m.vertices.size(); ++i)
+        EXPECT_EQ(back.vertices[i].x, m.vertices[i].x);
+}
+
+TEST(Reduction, HierarchicalGatherProducesClosedCoarsenedSphere) {
+    // Four ranks each own a z-slab of a sphere; the log2(P) reduction must
+    // deliver one closed, coarsened surface on rank 0.
+    const Vec3 center{16, 16, 16};
+    const double r = 10.0;
+
+    TriMesh result;
+    vmpi::runParallel(4, [&](vmpi::Comm& comm) {
+        const int zBase = 8 * comm.rank();
+        Field<double> f(32, 32, 8, 1, 1, Layout::fzyx);
+        fillSphere(f, 0, center, r, {0, 0, static_cast<double>(zBase)});
+        TriMesh local =
+            extractIsoSurface(f, 0, 0.5, {0, 0, static_cast<double>(zBase)});
+
+        ReductionOptions opt;
+        opt.maxTriangles = 600;
+        TriMesh reduced = reduceMeshHierarchical(std::move(local), &comm, opt);
+        if (comm.isRoot())
+            result = std::move(reduced);
+        else
+            EXPECT_TRUE(reduced.empty());
+    });
+
+    ASSERT_FALSE(result.empty());
+    EXPECT_LE(result.numTriangles(), 620u);
+    EXPECT_TRUE(result.isClosed());
+    EXPECT_EQ(result.eulerCharacteristic(), 2);
+    EXPECT_NEAR(result.totalArea(), 4.0 * M_PI * r * r,
+                0.15 * 4.0 * M_PI * r * r);
+}
+
+TEST(Reduction, SerialPathJustWeldsAndCoarsens) {
+    Field<double> f(24, 24, 24, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {12, 12, 12}, 7.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    ReductionOptions opt;
+    opt.maxTriangles = 200;
+    const TriMesh out = reduceMeshHierarchical(std::move(m), nullptr, opt);
+    EXPECT_LE(out.numTriangles(), 220u);
+    EXPECT_TRUE(out.isClosed());
+}
+
+} // namespace
+} // namespace tpf::io

@@ -1,0 +1,81 @@
+/// Tests for the performance substrate: timers/MLUPs, STREAM bandwidth,
+/// FMA peak measurement and the roofline model.
+
+#include <gtest/gtest.h>
+
+#include "perf/flops.h"
+#include "perf/perf.h"
+#include "perf/roofline.h"
+#include "perf/streambench.h"
+
+namespace tpf::perf {
+namespace {
+
+TEST(Perf, MlupsArithmetic) {
+    EXPECT_DOUBLE_EQ(mlups(1000000, 10, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(mlups(60 * 60 * 60, 1, 0.1), 2.16);
+}
+
+TEST(Perf, TimeItReturnsPositiveSecondsPerCall) {
+    volatile double sink = 0.0;
+    const double sec = timeIt(
+        [&] {
+            for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+        },
+        0.05);
+    EXPECT_GT(sec, 0.0);
+    EXPECT_LT(sec, 0.1);
+}
+
+TEST(Stream, BandwidthIsPlausible) {
+    // Small arrays to keep the test fast; result must be in a physically
+    // plausible range for any machine this runs on (0.5 .. 1000 GiB/s).
+    const StreamResult r = runStream(/*megabytes=*/64, /*threads=*/1);
+    EXPECT_GT(r.copyGiBs, 0.5);
+    EXPECT_LT(r.copyGiBs, 1000.0);
+    EXPECT_GT(r.triadGiBs, 0.5);
+    EXPECT_LT(r.triadGiBs, 1000.0);
+}
+
+TEST(Roofline, BoundClassification) {
+    // High intensity -> compute bound.
+    RooflineInput hi{10.0, 10.0, 10000.0, 10.0};
+    const auto rhi = evaluateRoofline(hi);
+    EXPECT_TRUE(rhi.computeBound);
+    EXPECT_DOUBLE_EQ(rhi.boundMlups, rhi.computeBoundMlups);
+
+    // Low intensity -> bandwidth bound.
+    RooflineInput lo{10.0, 10.0, 10.0, 10000.0};
+    const auto rlo = evaluateRoofline(lo);
+    EXPECT_FALSE(rlo.computeBound);
+    EXPECT_DOUBLE_EQ(rlo.boundMlups, rlo.bandwidthBoundMlups);
+}
+
+TEST(Roofline, PaperNumbersReproduceTheBandwidthCeiling) {
+    // The paper: 80 GiB/s node bandwidth / 680 B per cell = 126.3 MLUP/s.
+    RooflineInput in{0.0, 80.0, 1384.0, 680.0};
+    const auto r = evaluateRoofline(in);
+    EXPECT_NEAR(r.bandwidthBoundMlups, 126.3, 0.5);
+    EXPECT_NEAR(r.arithmeticIntensity, 2.0, 0.1);
+}
+
+TEST(Roofline, PeakMeasurementIsPlausible) {
+    const double gflops = measurePeakGflopsPerCore();
+    // Any 4-wide-double FMA machine: at least a few GFLOP/s, below 200.
+    EXPECT_GT(gflops, 2.0);
+    EXPECT_LT(gflops, 500.0);
+}
+
+TEST(Flops, KernelEstimatesAreInTheExpectedRegime) {
+    // The paper counts 1384 flops/cell for the mu-kernel; our model variant
+    // with the full anti-trapping evaluation is of the same order.
+    EXPECT_GT(kMuFlopsPerCell, 800.0);
+    EXPECT_LT(kMuFlopsPerCell, 4000.0);
+    EXPECT_GT(kPhiFlopsPerCell, 500.0);
+    EXPECT_LT(kPhiFlopsPerCell, 3000.0);
+    // Arithmetic intensity >> 1 flop/byte: compute bound, as in the paper.
+    EXPECT_GT(kMuFlopsPerCell / kMuBytesPerCell, 2.0);
+}
+
+} // namespace
+} // namespace tpf::perf

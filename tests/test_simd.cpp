@@ -1,0 +1,220 @@
+/// Cross-backend tests of the SIMD abstraction layer: every operation of the
+/// active backend (AVX2 where compiled in) is checked against the portable
+/// scalar backend on randomized lanes, mirroring how the paper validated its
+/// intrinsics wrapper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simd/simd.h"
+#include "util/alignment.h"
+#include "util/fastmath.h"
+#include "util/random.h"
+
+namespace tpf::simd {
+namespace {
+
+template <typename V>
+std::array<double, 4> lanes(V v) {
+    alignas(32) double out[4];
+    v.storeu(out);
+    return {out[0], out[1], out[2], out[3]};
+}
+
+using Backends = ::testing::Types<
+#if defined(__AVX2__)
+    Vec4dAvx2,
+#endif
+#if defined(__SSE2__) || defined(_M_X64)
+    Vec4dSse2,
+#endif
+    Vec4dScalar>;
+
+template <typename V>
+class SimdBackendTest : public ::testing::Test {};
+TYPED_TEST_SUITE(SimdBackendTest, Backends);
+
+TYPED_TEST(SimdBackendTest, SetAndLane) {
+    auto v = TypeParam::set(1.0, 2.0, 3.0, 4.0);
+    EXPECT_EQ(v.lane(0), 1.0);
+    EXPECT_EQ(v.lane(1), 2.0);
+    EXPECT_EQ(v.lane(2), 3.0);
+    EXPECT_EQ(v.lane(3), 4.0);
+}
+
+TYPED_TEST(SimdBackendTest, BroadcastZeroLoadStore) {
+    EXPECT_EQ(TypeParam::zero().hsum(), 0.0);
+    auto b = TypeParam::broadcast(2.5);
+    EXPECT_EQ(b.hsum(), 10.0);
+
+    alignas(32) double buf[4] = {5, 6, 7, 8};
+    auto v = TypeParam::load(buf);
+    alignas(32) double out[4];
+    v.store(out);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], buf[i]);
+
+    double ubuf[5] = {0, 1, 2, 3, 4};
+    auto u = TypeParam::loadu(ubuf + 1);
+    EXPECT_EQ(u.lane(3), 4.0);
+}
+
+TYPED_TEST(SimdBackendTest, ArithmeticMatchesScalar) {
+    Random rng(11);
+    for (int t = 0; t < 100; ++t) {
+        double a[4], b[4];
+        for (int i = 0; i < 4; ++i) {
+            a[i] = rng.uniform(-10.0, 10.0);
+            b[i] = rng.uniform(0.1, 10.0);
+        }
+        auto va = TypeParam::loadu(a), vb = TypeParam::loadu(b);
+        auto sum = lanes(va + vb);
+        auto dif = lanes(va - vb);
+        auto mul = lanes(va * vb);
+        auto quo = lanes(va / vb);
+        auto neg = lanes(-va);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(sum[i], a[i] + b[i]);
+            EXPECT_EQ(dif[i], a[i] - b[i]);
+            EXPECT_EQ(mul[i], a[i] * b[i]);
+            EXPECT_EQ(quo[i], a[i] / b[i]);
+            EXPECT_EQ(neg[i], -a[i]);
+        }
+    }
+}
+
+TYPED_TEST(SimdBackendTest, FmaddMatchesStdFma) {
+    Random rng(13);
+    for (int t = 0; t < 100; ++t) {
+        double a[4], b[4], c[4];
+        for (int i = 0; i < 4; ++i) {
+            a[i] = rng.uniform(-5.0, 5.0);
+            b[i] = rng.uniform(-5.0, 5.0);
+            c[i] = rng.uniform(-5.0, 5.0);
+        }
+        auto r = lanes(TypeParam::fmadd(TypeParam::loadu(a), TypeParam::loadu(b),
+                                        TypeParam::loadu(c)));
+        auto s = lanes(TypeParam::fmsub(TypeParam::loadu(a), TypeParam::loadu(b),
+                                        TypeParam::loadu(c)));
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(r[i], std::fma(a[i], b[i], c[i]));
+            EXPECT_EQ(s[i], std::fma(a[i], b[i], -c[i]));
+        }
+    }
+}
+
+TYPED_TEST(SimdBackendTest, MinMaxAbsSqrt) {
+    auto a = TypeParam::set(-1.0, 2.0, -3.0, 4.0);
+    auto b = TypeParam::set(1.0, -2.0, 3.0, -4.0);
+    auto mn = lanes(TypeParam::min(a, b));
+    auto mx = lanes(TypeParam::max(a, b));
+    auto ab = lanes(TypeParam::abs(a));
+    EXPECT_EQ(mn[0], -1.0);
+    EXPECT_EQ(mn[1], -2.0);
+    EXPECT_EQ(mx[0], 1.0);
+    EXPECT_EQ(mx[3], 4.0);
+    EXPECT_EQ(ab[0], 1.0);
+    EXPECT_EQ(ab[2], 3.0);
+
+    auto sq = lanes(TypeParam::sqrt(TypeParam::set(4.0, 9.0, 16.0, 25.0)));
+    EXPECT_EQ(sq[0], 2.0);
+    EXPECT_EQ(sq[3], 5.0);
+}
+
+TYPED_TEST(SimdBackendTest, RsqrtFastMatchesScalarHelperBitwise) {
+    Random rng(17);
+    for (int t = 0; t < 50; ++t) {
+        double a[4];
+        for (int i = 0; i < 4; ++i) a[i] = rng.uniform(1e-6, 1e6);
+        auto r = lanes(TypeParam::rsqrtFast(TypeParam::loadu(a)));
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(r[i], fastInvSqrt<3>(a[i]));
+    }
+}
+
+TYPED_TEST(SimdBackendTest, CompareAndBlend) {
+    auto a = TypeParam::set(1.0, 5.0, 3.0, 7.0);
+    auto b = TypeParam::set(2.0, 4.0, 3.0, 8.0);
+
+    auto lt = a < b;
+    EXPECT_TRUE(lt.lane(0));
+    EXPECT_FALSE(lt.lane(1));
+    EXPECT_FALSE(lt.lane(2));
+    EXPECT_TRUE(lt.lane(3));
+    EXPECT_TRUE(lt.any());
+    EXPECT_FALSE(lt.all());
+
+    auto le = a <= b;
+    EXPECT_TRUE(le.lane(2));
+
+    auto eq = a == b;
+    EXPECT_TRUE(eq.lane(2));
+    EXPECT_FALSE(eq.lane(0));
+
+    auto sel = lanes(TypeParam::blend(lt, a, b));
+    EXPECT_EQ(sel[0], 1.0); // lt -> a
+    EXPECT_EQ(sel[1], 4.0); // !lt -> b
+    EXPECT_EQ(sel[3], 7.0);
+
+    auto band = (a < b) & (a > TypeParam::zero());
+    EXPECT_TRUE(band.lane(0));
+    auto bor = (a < b) | (a == b);
+    EXPECT_TRUE(bor.lane(2));
+    auto bnot = !(a < b);
+    EXPECT_TRUE(bnot.lane(1));
+    EXPECT_FALSE(bnot.lane(0));
+}
+
+TYPED_TEST(SimdBackendTest, RotateAndReverse) {
+    auto v = TypeParam::set(10.0, 20.0, 30.0, 40.0);
+    auto r1 = lanes(v.rotateLeft1());
+    EXPECT_EQ(r1[0], 20.0);
+    EXPECT_EQ(r1[1], 30.0);
+    EXPECT_EQ(r1[2], 40.0);
+    EXPECT_EQ(r1[3], 10.0);
+    auto rev = lanes(v.reverse());
+    EXPECT_EQ(rev[0], 40.0);
+    EXPECT_EQ(rev[3], 10.0);
+}
+
+TYPED_TEST(SimdBackendTest, HorizontalReductions) {
+    auto v = TypeParam::set(1.0, 2.0, 3.0, 4.0);
+    EXPECT_EQ(v.hsum(), 10.0);
+    EXPECT_EQ(v.hmax(), 4.0);
+    EXPECT_EQ(v.hmin(), 1.0);
+    // hsum association matches ((a+b)+(c+d)).
+    auto w = TypeParam::set(0.1, 0.2, 0.3, 0.4);
+    EXPECT_EQ(w.hsum(), (0.1 + 0.2) + (0.3 + 0.4));
+}
+
+#if defined(__AVX2__)
+TEST(SimdCross, Avx2MatchesScalarOnRandomInputs) {
+    Random rng(23);
+    for (int t = 0; t < 200; ++t) {
+        double a[4], b[4];
+        for (int i = 0; i < 4; ++i) {
+            a[i] = rng.uniform(-100.0, 100.0);
+            b[i] = rng.uniform(0.5, 100.0);
+        }
+        auto va = Vec4dAvx2::loadu(a), vb = Vec4dAvx2::loadu(b);
+        auto sa = Vec4dScalar::loadu(a), sb = Vec4dScalar::loadu(b);
+        EXPECT_EQ((va + vb).hsum(), (sa + sb).hsum());
+        // Product compared lane-wise: comparing hsum of a product would let
+        // the compiler fuse the scalar mul+add chain into fma and differ in
+        // the last ulp from the mul_pd/hadd sequence.
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ((va * vb).lane(i), (sa * sb).lane(i));
+        EXPECT_EQ(Vec4dAvx2::fmadd(va, vb, va).lane(2),
+                  Vec4dScalar::fmadd(sa, sb, sa).lane(2));
+        EXPECT_EQ(Vec4dAvx2::rsqrtFast(vb).lane(1),
+                  Vec4dScalar::rsqrtFast(sb).lane(1));
+        EXPECT_EQ(va.rotateLeft1().lane(3), sa.rotateLeft1().lane(3));
+    }
+}
+
+TEST(SimdCross, BackendNameReportsAvx2) {
+    EXPECT_EQ(backendName(), "AVX2");
+}
+#endif
+
+} // namespace
+} // namespace tpf::simd

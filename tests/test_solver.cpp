@@ -1,0 +1,295 @@
+/// Integration tests of the full solver: Algorithm 1 vs Algorithm 2
+/// (communication hiding), multi-rank vs serial bitwise equivalence, moving
+/// window, long-run stability, boundary handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.h"
+
+namespace tpf::core {
+namespace {
+
+SolverConfig smallConfig() {
+    SolverConfig cfg;
+    cfg.globalCells = {32, 32, 48};
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.zEut0 = 20.0;
+    cfg.model.temp.velocity = 0.02;
+    cfg.init.fillHeight = 10;
+    cfg.init.seedsPerArea = 10;
+    return cfg;
+}
+
+/// Collect the full global phi/mu state of a solver into flat vectors
+/// indexed by global cell (for cross-run comparison).
+struct Snapshot {
+    std::vector<double> phi, mu;
+
+    static Snapshot take(Solver& s) {
+        const Int3 g = s.forest().globalCells();
+        Snapshot sn;
+        sn.phi.assign(static_cast<std::size_t>(g.x) * g.y * g.z * N, -1.0);
+        sn.mu.assign(static_cast<std::size_t>(g.x) * g.y * g.z * KC, -1.0);
+        for (auto& b : s.localBlocks()) {
+            forEachCell(b->phiSrc.interior(), [&](int x, int y, int z) {
+                const std::size_t cell =
+                    (static_cast<std::size_t>(b->origin.z + z) * g.y +
+                     (b->origin.y + y)) *
+                        g.x +
+                    (b->origin.x + x);
+                for (int a = 0; a < N; ++a)
+                    sn.phi[cell * N + a] = b->phiSrc(x, y, z, a);
+                for (int c = 0; c < KC; ++c)
+                    sn.mu[cell * KC + c] = b->muSrc(x, y, z, c);
+            });
+        }
+        return sn;
+    }
+
+    double maxDiff(const Snapshot& o) const {
+        double m = 0.0;
+        for (std::size_t i = 0; i < phi.size(); ++i)
+            m = std::max(m, std::abs(phi[i] - o.phi[i]));
+        for (std::size_t i = 0; i < mu.size(); ++i)
+            m = std::max(m, std::abs(mu[i] - o.mu[i]));
+        return m;
+    }
+};
+
+TEST(Solver, StableGrowthWithPhysicalInvariants) {
+    Solver s(smallConfig());
+    s.initialize();
+    const auto f0 = s.phaseFractions();
+
+    s.run(300);
+
+    const auto f1 = s.phaseFractions();
+    EXPECT_LT(f1[LIQ], f0[LIQ]) << "liquid must solidify under undercooling";
+    EXPECT_GT(f1[LIQ], 0.3) << "only the front region should have solidified";
+
+    // All solids present and of similar magnitude (ternary eutectic).
+    for (int a = 0; a < 3; ++a) EXPECT_GT(f1[static_cast<std::size_t>(a)], 0.02);
+
+    // phi stays on the simplex everywhere, no NaNs anywhere.
+    for (auto& b : s.localBlocks()) {
+        forEachCell(b->phiSrc.interior(), [&](int x, int y, int z) {
+            double sum = 0.0;
+            for (int a = 0; a < N; ++a) {
+                const double v = b->phiSrc(x, y, z, a);
+                ASSERT_TRUE(std::isfinite(v));
+                ASSERT_GE(v, 0.0);
+                ASSERT_LE(v, 1.0);
+                sum += v;
+            }
+            ASSERT_NEAR(sum, 1.0, 1e-12);
+            ASSERT_TRUE(std::isfinite(b->muSrc(x, y, z, 0)));
+            ASSERT_TRUE(std::isfinite(b->muSrc(x, y, z, 1)));
+        });
+    }
+    EXPECT_LT(s.maxMuDeviation(), 5.0);
+    EXPECT_NEAR(s.time(), 300 * s.config().model.dt, 1e-12);
+}
+
+TEST(Solver, MuOverlapIsBitwiseEquivalentToAlgorithm1) {
+    // Hiding the mu communication only changes *when* ghosts are exchanged
+    // (end of step k vs start of step k+1) — the values are identical.
+    auto cfg = smallConfig();
+    cfg.overlapMu = false;
+    Solver plain(cfg);
+    plain.initialize();
+    plain.run(50);
+
+    cfg.overlapMu = true;
+    Solver overlap(cfg);
+    overlap.initialize();
+    overlap.run(50);
+
+    EXPECT_EQ(Snapshot::take(plain).maxDiff(Snapshot::take(overlap)), 0.0);
+}
+
+TEST(Solver, PhiOverlapMatchesAlgorithm1WithinRounding) {
+    // The split mu-sweep applies the anti-trapping divergence in a second
+    // pass; same physics, different rounding.
+    auto cfg = smallConfig();
+    Solver plain(cfg);
+    plain.initialize();
+    plain.run(50);
+
+    cfg.overlapPhi = true;
+    cfg.overlapMu = true;
+    Solver overlap(cfg);
+    overlap.initialize();
+    overlap.run(50);
+
+    EXPECT_LT(Snapshot::take(plain).maxDiff(Snapshot::take(overlap)), 1e-9);
+}
+
+class SolverRankCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRankCountTest, MultiRankMatchesSerialBitwise) {
+    const int nranks = GetParam();
+
+    auto cfg = smallConfig();
+    Snapshot serial;
+    {
+        Solver s(cfg);
+        s.initialize();
+        s.run(30);
+        serial = Snapshot::take(s);
+    }
+
+    // Same run decomposed into one z-slab block per rank. Ghost exchange only
+    // copies values, so the result must be bitwise identical.
+    cfg.blockSize = {32, 32, 48 / nranks};
+    std::vector<Snapshot> parts(static_cast<std::size_t>(nranks));
+    vmpi::runParallel(nranks, [&](vmpi::Comm& comm) {
+        Solver s(cfg, &comm);
+        s.initialize();
+        s.run(30);
+        parts[static_cast<std::size_t>(comm.rank())] = Snapshot::take(s);
+    });
+
+    // Merge the per-rank snapshots (each initialized untouched cells to -1).
+    Snapshot merged = parts[0];
+    for (int r = 1; r < nranks; ++r) {
+        for (std::size_t i = 0; i < merged.phi.size(); ++i)
+            if (parts[static_cast<std::size_t>(r)].phi[i] >= 0.0)
+                merged.phi[i] = parts[static_cast<std::size_t>(r)].phi[i];
+        for (std::size_t i = 0; i < merged.mu.size(); ++i)
+            if (parts[static_cast<std::size_t>(r)].mu[i] != -1.0)
+                merged.mu[i] = parts[static_cast<std::size_t>(r)].mu[i];
+    }
+    EXPECT_EQ(serial.maxDiff(merged), 0.0)
+        << nranks << "-rank run must be bitwise identical to serial";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SolverRankCountTest, ::testing::Values(2, 4, 8));
+
+TEST(Solver, MultiBlockPerRankMatchesSerial) {
+    auto cfg = smallConfig();
+    Snapshot serial;
+    {
+        Solver s(cfg);
+        s.initialize();
+        s.run(20);
+        serial = Snapshot::take(s);
+    }
+    // 2x2x2 blocks all owned by one rank (intra-rank exchange only).
+    cfg.blockSize = {16, 16, 24};
+    Solver s(cfg);
+    s.initialize();
+    s.run(20);
+    EXPECT_EQ(serial.maxDiff(Snapshot::take(s)), 0.0);
+}
+
+TEST(Solver, MovingWindowTracksTheFront) {
+    auto cfg = smallConfig();
+    cfg.window.enabled = true;
+    cfg.window.triggerFraction = 0.18; // below the initial fill -> shifts soon
+    cfg.window.checkEvery = 5;
+    Solver s(cfg);
+    s.initialize();
+    const auto f0 = s.phaseFractions();
+
+    s.run(200);
+
+    EXPECT_GT(s.windowOffsetCells(), 0.0) << "window must have shifted";
+    // The front stays near the trigger plane in the tracked frame.
+    EXPECT_LT(s.frontPosition(),
+              static_cast<int>(0.5 * cfg.globalCells.z));
+    // Shifting discards solidified material: liquid fraction must not drift
+    // to zero, and the state stays physical.
+    const auto f1 = s.phaseFractions();
+    EXPECT_GT(f1[LIQ], 0.4);
+    EXPECT_LT(f1[LIQ], 1.0);
+    EXPECT_LT(s.maxMuDeviation(), 5.0);
+
+    // Solid below the front persists in the window.
+    EXPECT_GT(f1[0] + f1[1] + f1[2], 0.9 * (f0[0] + f0[1] + f0[2]) - 0.05);
+}
+
+TEST(Solver, WindowShiftPreservesSolutionInTrackedFrame) {
+    // A manual shift must reproduce exactly the content one cell up.
+    auto cfg = smallConfig();
+    Solver s(cfg);
+    s.initialize();
+    s.run(10);
+
+    // Record phi at a probe column before the shift.
+    auto& blk = *s.localBlocks().front();
+    std::vector<double> column;
+    for (int z = 0; z < blk.size.z - 1; ++z)
+        column.push_back(blk.phiSrc(5, 7, z + 1, LIQ));
+
+    for (auto& b : s.localBlocks()) shiftDownOneCell(*b, s.forest(), s.system());
+
+    for (int z = 0; z < blk.size.z - 1; ++z)
+        EXPECT_EQ(blk.phiSrc(5, 7, z, LIQ), column[static_cast<std::size_t>(z)]);
+    // Top slice is fresh melt.
+    EXPECT_EQ(blk.phiSrc(5, 7, blk.size.z - 1, LIQ), 1.0);
+}
+
+TEST(Solver, FrontPositionAndFractionsAreRankCountInvariant) {
+    auto cfg = smallConfig();
+    double serialFront;
+    std::array<double, N> serialFr{};
+    {
+        Solver s(cfg);
+        s.initialize();
+        s.run(20);
+        serialFront = s.frontPosition();
+        serialFr = s.phaseFractions();
+    }
+    cfg.blockSize = {32, 32, 12};
+    vmpi::runParallel(4, [&](vmpi::Comm& comm) {
+        Solver s(cfg, &comm);
+        s.initialize();
+        s.run(20);
+        EXPECT_EQ(static_cast<double>(s.frontPosition()), serialFront);
+        const auto fr = s.phaseFractions();
+        for (int a = 0; a < N; ++a)
+            EXPECT_NEAR(fr[static_cast<std::size_t>(a)],
+                        serialFr[static_cast<std::size_t>(a)], 1e-12);
+    });
+}
+
+TEST(Solver, TimeloopTimingsAreRecorded) {
+    Solver s(smallConfig());
+    s.initialize();
+    s.run(3);
+    const auto& timings = s.timeloop().timings();
+    ASSERT_FALSE(timings.empty());
+    bool sawPhiSweep = false;
+    for (const auto& t : timings) {
+        EXPECT_EQ(t.calls, 3);
+        if (t.name == "phi-sweep") {
+            sawPhiSweep = true;
+            EXPECT_GT(t.seconds, 0.0);
+        }
+    }
+    EXPECT_TRUE(sawPhiSweep);
+}
+
+TEST(Solver, KernelChoiceDoesNotChangePhysics) {
+    // Production SIMD kernels vs scalar reference kernels over a full run:
+    // same physics within accumulated rounding.
+    auto cfg = smallConfig();
+    cfg.phiKernel = PhiKernelKind::Basic;
+    cfg.muKernel = MuKernelKind::Basic;
+    Solver ref(cfg);
+    ref.initialize();
+    ref.run(30);
+
+    cfg.phiKernel = PhiKernelKind::SimdTzStagCut;
+    cfg.muKernel = MuKernelKind::SimdTzStagCut;
+    Solver opt(cfg);
+    opt.initialize();
+    opt.run(30);
+
+    EXPECT_LT(Snapshot::take(ref).maxDiff(Snapshot::take(opt)), 1e-7);
+}
+
+} // namespace
+} // namespace tpf::core

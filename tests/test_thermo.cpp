@@ -1,0 +1,202 @@
+/// Tests for the thermodynamics substrate: parabolic phases, Legendre
+/// consistency of the grand potentials, calibration of the eutectic
+/// equilibrium, susceptibility/mobility properties, lever rule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermo/agalcu.h"
+#include "util/random.h"
+
+namespace tpf::thermo {
+namespace {
+
+ParabolicPhase makeTestPhase() {
+    return ParabolicPhase(Mat2{10.0, 1.0, 1.0, 8.0}, Vec2{0.3, 0.2},
+                          Vec2{1e-4, 2e-4}, 0.05, 0.7, 700.0);
+}
+
+TEST(ParabolicPhase, MuIsGradientOfF) {
+    const auto p = makeTestPhase();
+    const Vec2 c{0.35, 0.18};
+    const double T = 698.0;
+    const double h = 1e-6;
+    const double dfdx =
+        (p.f({c.x + h, c.y}, T) - p.f({c.x - h, c.y}, T)) / (2 * h);
+    const double dfdy =
+        (p.f({c.x, c.y + h}, T) - p.f({c.x, c.y - h}, T)) / (2 * h);
+    const Vec2 mu = p.mu(c, T);
+    EXPECT_NEAR(mu.x, dfdx, 1e-6);
+    EXPECT_NEAR(mu.y, dfdy, 1e-6);
+}
+
+TEST(ParabolicPhase, COfMuInvertsMu) {
+    const auto p = makeTestPhase();
+    Random rng(5);
+    for (int t = 0; t < 50; ++t) {
+        const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+        const double T = rng.uniform(650.0, 750.0);
+        const Vec2 back = p.cOfMu(p.mu(c, T), T);
+        EXPECT_NEAR(back.x, c.x, 1e-12);
+        EXPECT_NEAR(back.y, c.y, 1e-12);
+    }
+}
+
+TEST(ParabolicPhase, GrandPotentialIsLegendreTransform) {
+    const auto p = makeTestPhase();
+    Random rng(6);
+    for (int t = 0; t < 50; ++t) {
+        const Vec2 mu{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+        const double T = rng.uniform(650.0, 750.0);
+        const Vec2 c = p.cOfMu(mu, T);
+        EXPECT_NEAR(p.grandPotential(mu, T), p.f(c, T) - mu.dot(c), 1e-10);
+    }
+}
+
+TEST(ParabolicPhase, GrandPotentialMaximizesOverC) {
+    // omega(mu) = min_c f(c) - mu.c for convex f: any other c gives a larger
+    // value of f(c) - mu.c.
+    const auto p = makeTestPhase();
+    const Vec2 mu{0.5, -0.3};
+    const double T = 700.0;
+    const double w = p.grandPotential(mu, T);
+    Random rng(7);
+    for (int t = 0; t < 50; ++t) {
+        const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+        EXPECT_GE(p.f(c, T) - mu.dot(c), w - 1e-12);
+    }
+}
+
+TEST(ParabolicPhase, RejectsNonSpdCurvature) {
+    EXPECT_DEATH(ParabolicPhase(Mat2{1.0, 5.0, 5.0, 1.0}, Vec2{0, 0}, Vec2{0, 0},
+                                0.0, 0.0, 700.0),
+                 "positive definite");
+}
+
+// --- Ag-Al-Cu system ---
+
+TEST(AgAlCu, GrandPotentialsEqualAtEutecticPoint) {
+    const auto sys = makeAgAlCu();
+    const double w0 = sys.omega(0, sys.muEut(), sys.Teut());
+    for (int a = 1; a < kNumPhases; ++a)
+        EXPECT_NEAR(sys.omega(a, sys.muEut(), sys.Teut()), w0, 1e-13);
+    EXPECT_NEAR(w0, 0.0, 1e-13); // gauge fixed to zero
+}
+
+TEST(AgAlCu, SolidsFavoredBelowEutectic) {
+    const auto sys = makeAgAlCu();
+    const double T = sys.Teut() - 2.0;
+    const double wl = sys.omega(kLiquidPhase, sys.muEut(), T);
+    for (int a = 0; a < 3; ++a)
+        EXPECT_LT(sys.omega(a, sys.muEut(), T), wl)
+            << "solid " << a << " must be favored below T_E";
+}
+
+TEST(AgAlCu, LiquidFavoredAboveEutectic) {
+    const auto sys = makeAgAlCu();
+    const double T = sys.Teut() + 2.0;
+    const double wl = sys.omega(kLiquidPhase, sys.muEut(), T);
+    for (int a = 0; a < 3; ++a)
+        EXPECT_GT(sys.omega(a, sys.muEut(), T), wl);
+}
+
+TEST(AgAlCu, EutecticTemperatureMatchesPublishedValue) {
+    EXPECT_NEAR(makeAgAlCu().Teut(), 773.6, 1e-9);
+}
+
+TEST(AgAlCu, LiquidCompositionNearPublishedEutectic) {
+    const auto sys = makeAgAlCu();
+    const Vec2 cl = sys.cOfPhase(kLiquidPhase, sys.muEut(), sys.Teut());
+    EXPECT_NEAR(cl.x, 0.18, 0.02); // c_Ag
+    EXPECT_NEAR(cl.y, 0.13, 0.02); // c_Cu
+    const double cAl = 1.0 - cl.x - cl.y;
+    EXPECT_NEAR(cAl, 0.69, 0.03);
+}
+
+TEST(AgAlCu, LeverFractionsValidAndSimilar) {
+    const auto sys = makeAgAlCu();
+    const auto lf = sys.leverFractions();
+    double sum = 0.0;
+    for (double f : lf.solid) {
+        EXPECT_GT(f, 0.1); // "similar phase fractions" of the real system
+        EXPECT_LT(f, 0.6);
+        sum += f;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AgAlCu, LeverRuleReproducesLiquidComposition) {
+    const auto sys = makeAgAlCu();
+    const auto lf = sys.leverFractions();
+    Vec2 mix{0.0, 0.0};
+    for (int a = 0; a < 3; ++a)
+        mix += sys.cOfPhase(a, sys.muEut(), sys.Teut()) * lf.solid[a];
+    const Vec2 cl = sys.cOfPhase(kLiquidPhase, sys.muEut(), sys.Teut());
+    EXPECT_NEAR(mix.x, cl.x, 1e-12);
+    EXPECT_NEAR(mix.y, cl.y, 1e-12);
+}
+
+TEST(AgAlCu, SusceptibilityIsSpdOnSimplex) {
+    const auto sys = makeAgAlCu();
+    Random rng(8);
+    for (int t = 0; t < 100; ++t) {
+        double h[4];
+        double s = 0.0;
+        for (auto& v : h) {
+            v = rng.uniform();
+            s += v;
+        }
+        for (auto& v : h) v /= s;
+        const Mat2 chi = sys.susceptibility(h);
+        EXPECT_TRUE(chi.isSymmetric(1e-12));
+        const auto ev = chi.symEigenvalues();
+        EXPECT_GT(ev[0], 0.0);
+    }
+}
+
+TEST(AgAlCu, MixtureConcentrationInterpolatesPhases) {
+    const auto sys = makeAgAlCu();
+    double h[4] = {1.0, 0.0, 0.0, 0.0};
+    const Vec2 c = sys.mixtureConcentration(h, sys.muEut(), sys.Teut());
+    const Vec2 c0 = sys.cOfPhase(0, sys.muEut(), sys.Teut());
+    EXPECT_NEAR(c.x, c0.x, 1e-14);
+    EXPECT_NEAR(c.y, c0.y, 1e-14);
+}
+
+TEST(AgAlCu, MobilityDominatedByLiquid) {
+    const auto sys = makeAgAlCu();
+    double liquid[4] = {0, 0, 0, 1};
+    double solid[4] = {1, 0, 0, 0};
+    const auto evL = sys.mobility(liquid).symEigenvalues();
+    const auto evS = sys.mobility(solid).symEigenvalues();
+    EXPECT_GT(evL[0], 0.0);
+    EXPECT_GT(evL[1], 100.0 * evS[1])
+        << "solid diffusion must be orders of magnitude slower";
+}
+
+TEST(AgAlCu, MaxEffectiveDiffusivityIsLiquidScale) {
+    const auto sys = makeAgAlCu();
+    const double d = sys.maxEffectiveDiffusivity();
+    EXPECT_GT(d, 0.01);
+    EXPECT_LT(d, 10.0);
+}
+
+TEST(AgAlCu, DcDtFollowsSlopes) {
+    const auto sys = makeAgAlCu();
+    double h[4] = {0, 0, 0, 1};
+    const Vec2 s = sys.dcdT(h);
+    EXPECT_DOUBLE_EQ(s.x, sys.phase(kLiquidPhase).dxidT.x);
+    EXPECT_DOUBLE_EQ(s.y, sys.phase(kLiquidPhase).dxidT.y);
+}
+
+TEST(AgAlCu, PhaseNames) {
+    const auto sys = makeAgAlCu();
+    EXPECT_EQ(sys.phaseName(kAl2Cu), "Al2Cu");
+    EXPECT_EQ(sys.phaseName(kAg2Al), "Ag2Al");
+    EXPECT_EQ(sys.phaseName(kFccAl), "fcc-Al");
+    EXPECT_EQ(sys.phaseName(kLiquid), "liquid");
+}
+
+} // namespace
+} // namespace tpf::thermo

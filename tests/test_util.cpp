@@ -1,0 +1,252 @@
+/// Unit tests for src/util: alignment, fast math, small matrices, simplex
+/// projection, random numbers, table printing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/alignment.h"
+#include "util/fastmath.h"
+#include "util/random.h"
+#include "util/simplex.h"
+#include "util/smallmat.h"
+#include "util/table.h"
+
+namespace tpf {
+namespace {
+
+// --- alignment ---
+
+TEST(Alignment, AlignedAllocReturnsCacheLineAlignedMemory) {
+    for (std::size_t bytes : {1ul, 63ul, 64ul, 100ul, 4096ul, 1000000ul}) {
+        void* p = alignedAlloc(bytes);
+        EXPECT_TRUE(isAligned(p));
+        alignedFree(p);
+    }
+}
+
+TEST(Alignment, AllocatorWorksWithVector) {
+    std::vector<double, AlignedAllocator<double>> v(1000, 1.5);
+    EXPECT_TRUE(isAligned(v.data()));
+    EXPECT_DOUBLE_EQ(v[999], 1.5);
+}
+
+TEST(Alignment, RoundUp) {
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+// --- fast math ---
+
+class FastInvSqrtTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FastInvSqrtTest, ThreeNewtonStepsReach1e10RelativeAccuracy) {
+    const double x = GetParam();
+    const double approx = fastInvSqrt<3>(x);
+    const double exact = 1.0 / std::sqrt(x);
+    EXPECT_NEAR(approx / exact, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastInvSqrtTest,
+                         ::testing::Values(1e-12, 1e-6, 0.01, 0.5, 1.0, 2.0,
+                                           3.141592653589793, 100.0, 1e6,
+                                           1e12));
+
+TEST(FastInvSqrt, AccuracyImprovesWithNewtonSteps) {
+    const double x = 7.3;
+    const double exact = 1.0 / std::sqrt(x);
+    const double e1 = std::abs(fastInvSqrt<1>(x) - exact);
+    const double e2 = std::abs(fastInvSqrt<2>(x) - exact);
+    const double e3 = std::abs(fastInvSqrt<3>(x) - exact);
+    EXPECT_LT(e2, e1);
+    EXPECT_LT(e3, e2);
+}
+
+TEST(ReciprocalTable, MatchesDivision) {
+    ReciprocalTable tab(16);
+    for (int d = 1; d <= 16; ++d) EXPECT_DOUBLE_EQ(tab.inv(d), 1.0 / d);
+    EXPECT_EQ(tab.maxDenominator(), 16);
+}
+
+// --- small matrices ---
+
+TEST(Mat2, InverseRoundTrip) {
+    const Mat2 m{3.0, 1.0, 1.0, 4.0};
+    const Mat2 id = m * m.inverse();
+    EXPECT_NEAR(id.a, 1.0, 1e-14);
+    EXPECT_NEAR(id.b, 0.0, 1e-14);
+    EXPECT_NEAR(id.c, 0.0, 1e-14);
+    EXPECT_NEAR(id.d, 1.0, 1e-14);
+}
+
+TEST(Mat2, SolveMatchesInverse) {
+    const Mat2 m{5.0, 2.0, 2.0, 7.0};
+    const Vec2 r{1.3, -0.4};
+    const Vec2 x = m.solve(r);
+    const Vec2 back = m * x;
+    EXPECT_NEAR(back.x, r.x, 1e-14);
+    EXPECT_NEAR(back.y, r.y, 1e-14);
+}
+
+TEST(Mat2, SymmetricEigenvaluesOfDiagonal) {
+    const Mat2 m = Mat2::diag(2.0, 5.0);
+    const auto ev = m.symEigenvalues();
+    EXPECT_DOUBLE_EQ(ev[0], 2.0);
+    EXPECT_DOUBLE_EQ(ev[1], 5.0);
+}
+
+TEST(Mat2, SymmetricEigenDecompositionReconstructs) {
+    const Mat2 m{4.0, 1.5, 1.5, 2.0};
+    const auto ev = m.symEigenvalues();
+    for (double lambda : ev) {
+        const Vec2 v = m.symEigenvector(lambda);
+        const Vec2 mv = m * v;
+        EXPECT_NEAR(mv.x, lambda * v.x, 1e-12);
+        EXPECT_NEAR(mv.y, lambda * v.y, 1e-12);
+        EXPECT_NEAR(v.norm(), 1.0, 1e-14);
+    }
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+    const Vec3 a{1.0, 2.0, 3.0}, b{-2.0, 0.5, 1.0};
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-14);
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-14);
+}
+
+// --- simplex projection ---
+
+void expectOnSimplex(const std::array<double, 4>& x) {
+    double s = 0.0;
+    for (double v : x) {
+        EXPECT_GE(v, 0.0);
+        s += v;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Simplex, AlreadyOnSimplexIsFixedPoint) {
+    std::array<double, 4> x{0.1, 0.2, 0.3, 0.4};
+    auto y = x;
+    projectToSimplex(y);
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-15);
+}
+
+TEST(Simplex, VertexStaysVertexExactly) {
+    double a = 1.0, b = 0.0, c = 0.0, d = 0.0;
+    projectToSimplex4(a, b, c, d);
+    EXPECT_EQ(a, 1.0);
+    EXPECT_EQ(b, 0.0);
+    EXPECT_EQ(c, 0.0);
+    EXPECT_EQ(d, 0.0);
+}
+
+TEST(Simplex, BulkPerturbationProjectsBackToVertexExactly) {
+    // The situation of a bulk cell after the obstacle-potential update: the
+    // dominant phase got a positive push, all others negative pushes.
+    double a = 1.0 + 0.25, b = -0.1, c = -0.05, d = -0.1;
+    projectToSimplex4(a, b, c, d);
+    EXPECT_EQ(a, 1.0);
+    EXPECT_EQ(b, 0.0);
+    EXPECT_EQ(c, 0.0);
+    EXPECT_EQ(d, 0.0);
+}
+
+class SimplexRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomTest, ProjectionLandsOnSimplexAndIsIdempotent) {
+    Random rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<double, 4> x;
+        for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+
+        auto generic = x;
+        projectToSimplex(generic);
+        expectOnSimplex(generic);
+
+        double a = x[0], b = x[1], c = x[2], d = x[3];
+        projectToSimplex4(a, b, c, d);
+        expectOnSimplex({a, b, c, d});
+
+        // Both implementations agree.
+        EXPECT_NEAR(a, generic[0], 1e-12);
+        EXPECT_NEAR(b, generic[1], 1e-12);
+        EXPECT_NEAR(c, generic[2], 1e-12);
+        EXPECT_NEAR(d, generic[3], 1e-12);
+
+        // Idempotency.
+        double a2 = a, b2 = b, c2 = c, d2 = d;
+        projectToSimplex4(a2, b2, c2, d2);
+        EXPECT_NEAR(a2, a, 1e-14);
+        EXPECT_NEAR(b2, b, 1e-14);
+        EXPECT_NEAR(c2, c, 1e-14);
+        EXPECT_NEAR(d2, d, 1e-14);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(Simplex, ProjectionIsNearestPointSpotCheck) {
+    // Projection of (2, 0, 0, 0) is the vertex (1, 0, 0, 0)? No: the nearest
+    // simplex point to (2,0,0,0) is (1,0,0,0) indeed.
+    double a = 2.0, b = 0.0, c = 0.0, d = 0.0;
+    projectToSimplex4(a, b, c, d);
+    EXPECT_DOUBLE_EQ(a, 1.0);
+    // Projection of the center offset: (0.5, 0.5, 0.5, 0.5) -> (0.25 x4).
+    a = b = c = d = 0.5;
+    projectToSimplex4(a, b, c, d);
+    EXPECT_DOUBLE_EQ(a, 0.25);
+    EXPECT_DOUBLE_EQ(b, 0.25);
+    EXPECT_DOUBLE_EQ(c, 0.25);
+    EXPECT_DOUBLE_EQ(d, 0.25);
+}
+
+// --- random ---
+
+TEST(Random, DeterministicForSameSeed) {
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Random, UniformInRange) {
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Random, UniformMeanIsCentered) {
+    Random rng(99);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+// --- table ---
+
+TEST(Table, FormatsAlignedColumns) {
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"b", "200"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("200"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace tpf

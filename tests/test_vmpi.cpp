@@ -1,0 +1,169 @@
+/// Tests for the virtual MPI layer: point-to-point matching, nonblocking
+/// receives, barriers, deterministic collectives, exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "vmpi/comm.h"
+
+namespace tpf::vmpi {
+namespace {
+
+TEST(Vmpi, SingleRankRunsInline) {
+    int called = 0;
+    runParallel(1, [&](Comm& c) {
+        EXPECT_EQ(c.rank(), 0);
+        EXPECT_EQ(c.size(), 1);
+        EXPECT_TRUE(c.isRoot());
+        ++called;
+    });
+    EXPECT_EQ(called, 1);
+}
+
+TEST(Vmpi, PingPong) {
+    runParallel(2, [](Comm& c) {
+        if (c.rank() == 0) {
+            c.sendValue<double>(1, 7, 3.25);
+            EXPECT_EQ(c.recvValue<double>(1, 8), 6.5);
+        } else {
+            const double v = c.recvValue<double>(0, 7);
+            c.sendValue<double>(0, 8, 2.0 * v);
+        }
+    });
+}
+
+TEST(Vmpi, TagAndSourceMatching) {
+    runParallel(3, [](Comm& c) {
+        if (c.rank() == 0) {
+            // Send out of order; receiver matches by tag.
+            c.sendValue<int>(2, 20, 222);
+            c.sendValue<int>(2, 10, 111);
+        } else if (c.rank() == 1) {
+            c.sendValue<int>(2, 10, 333);
+        } else {
+            EXPECT_EQ(c.recvValue<int>(0, 10), 111);
+            EXPECT_EQ(c.recvValue<int>(0, 20), 222);
+            EXPECT_EQ(c.recvValue<int>(1, 10), 333);
+        }
+    });
+}
+
+TEST(Vmpi, FifoOrderWithinSameTag) {
+    runParallel(2, [](Comm& c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 10; ++i) c.sendValue<int>(1, 5, i);
+        } else {
+            for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recvValue<int>(0, 5), i);
+        }
+    });
+}
+
+TEST(Vmpi, VectorMessages) {
+    runParallel(2, [](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<double> v(1000);
+            std::iota(v.begin(), v.end(), 0.0);
+            c.sendVector(1, 1, v);
+        } else {
+            const auto v = c.recvVector<double>(0, 1);
+            ASSERT_EQ(v.size(), 1000u);
+            EXPECT_EQ(v[999], 999.0);
+        }
+    });
+}
+
+TEST(Vmpi, IrecvCompletesOnWait) {
+    runParallel(2, [](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<std::byte> buf;
+            Request r = c.irecv(1, 3, &buf);
+            EXPECT_TRUE(r.valid());
+            // Computation would happen here (communication hiding).
+            c.wait(r);
+            EXPECT_FALSE(r.valid());
+            ASSERT_EQ(buf.size(), sizeof(double));
+            double v;
+            std::memcpy(&v, buf.data(), sizeof(double));
+            EXPECT_EQ(v, 9.0);
+        } else {
+            c.sendValue<double>(0, 3, 9.0);
+        }
+    });
+}
+
+TEST(Vmpi, BarrierSynchronizes) {
+    for (int trial = 0; trial < 5; ++trial) {
+        std::atomic<int> before{0};
+        std::atomic<bool> ok{true};
+        runParallel(8, [&](Comm& c) {
+            before.fetch_add(1);
+            c.barrier();
+            // After the barrier every rank must observe all increments.
+            if (before.load() != 8) ok = false;
+        });
+        EXPECT_TRUE(ok.load());
+    }
+}
+
+TEST(Vmpi, AllreduceSumMinMax) {
+    runParallel(6, [](Comm& c) {
+        const double mine = static_cast<double>(c.rank() + 1);
+        EXPECT_DOUBLE_EQ(c.allreduceSum(mine), 21.0);
+        EXPECT_DOUBLE_EQ(c.allreduceMin(mine), 1.0);
+        EXPECT_DOUBLE_EQ(c.allreduceMax(mine), 6.0);
+        EXPECT_EQ(c.allreduceSumLL(static_cast<long long>(c.rank())), 15);
+    });
+}
+
+TEST(Vmpi, AllreduceIsDeterministicAcrossRuns) {
+    // Rank-ordered combination: both runs must give bitwise equal sums even
+    // for values where addition order matters.
+    double first = 0.0;
+    for (int run = 0; run < 2; ++run) {
+        double result = 0.0;
+        runParallel(7, [&](Comm& c) {
+            const double mine = 0.1 * static_cast<double>(c.rank() + 1) + 1e-13;
+            const double s = c.allreduceSum(mine);
+            if (c.isRoot()) result = s;
+        });
+        if (run == 0)
+            first = result;
+        else
+            EXPECT_EQ(result, first);
+    }
+}
+
+TEST(Vmpi, GatherCollectsInRankOrder) {
+    runParallel(5, [](Comm& c) {
+        const auto all = c.gather(static_cast<double>(c.rank() * 10));
+        if (c.isRoot()) {
+            ASSERT_EQ(all.size(), 5u);
+            for (int r = 0; r < 5; ++r)
+                EXPECT_EQ(all[static_cast<std::size_t>(r)], 10.0 * r);
+        } else {
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+TEST(Vmpi, BcastDistributesRootValue) {
+    runParallel(4, [](Comm& c) {
+        double v = c.isRoot() ? 42.5 : 0.0;
+        v = c.bcast(v);
+        EXPECT_EQ(v, 42.5);
+    });
+}
+
+TEST(Vmpi, ExceptionInRankPropagates) {
+    EXPECT_THROW(runParallel(3,
+                             [](Comm& c) {
+                                 if (c.rank() == 2)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace tpf::vmpi
