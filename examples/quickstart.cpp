@@ -3,7 +3,7 @@
 /// solidification of the Ag-Al-Cu ternary eutectic, run it, and print the
 /// evolving phase fractions and front position.
 ///
-///   ./examples/quickstart [steps]
+///   ./examples/quickstart [steps] [nx ny nz]
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,14 +14,30 @@ int main(int argc, char** argv) {
     using namespace tpf;
 
     const int steps = argc > 1 ? std::atoi(argv[1]) : 800;
+    Int3 cells{48, 48, 64}; // x, y lateral (periodic), z growth
+    if (argc != 2 && argc != 5 && argc != 1) {
+        std::fprintf(stderr, "usage: quickstart [steps] [nx ny nz]\n");
+        return 2;
+    }
+    if (argc == 5) {
+        cells = {std::atoi(argv[2]), std::atoi(argv[3]), std::atoi(argv[4])};
+        if (cells.x < 4 || cells.x % 4 != 0 || cells.y < 1 || cells.z < 4) {
+            // nx must be a multiple of 4: the production kernels use
+            // four-cell vectorization.
+            std::fprintf(stderr,
+                         "usage: quickstart [steps] [nx ny nz]  "
+                         "(nx divisible by 4)\n");
+            return 2;
+        }
+    }
 
     // --- configure ---------------------------------------------------------
     core::SolverConfig cfg;
-    cfg.globalCells = {48, 48, 64};      // x, y lateral (periodic), z growth
+    cfg.globalCells = cells;
     cfg.model.temp.gradient = 0.5;       // K per cell
     cfg.model.temp.velocity = 0.02;      // cells per time unit
-    cfg.model.temp.zEut0 = 24.0;         // initial eutectic isotherm position
-    cfg.init.fillHeight = 12;            // Voronoi solid fill height
+    cfg.model.temp.zEut0 = 0.375 * cells.z; // eutectic isotherm position (24 at nz=64)
+    cfg.init.fillHeight = 3 * cells.z / 16; // Voronoi solid fill height (12 at nz=64)
     cfg.overlapMu = true;                // Algorithm 2, mu hiding (production)
 
     // --- run ----------------------------------------------------------------

@@ -1,0 +1,155 @@
+/// \file cli.cpp
+
+#include "app/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tpf::app {
+
+Cli::Cli(int argc, char** argv, std::string synopsis)
+    : prog_(argc > 0 ? argv[0] : "tpf"), synopsis_(std::move(synopsis)) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-h" || a == "--help") {
+            help_ = true;
+            continue;
+        }
+        args_.push_back(a);
+    }
+    used_.assign(args_.size(), false);
+}
+
+bool Cli::take(const std::string& name, std::string& value, bool isFlag) {
+    // With -h/--help on the line, never parse (and possibly reject) values:
+    // the caller will print usage and exit.
+    if (help_) return false;
+    const std::string key = "--" + name;
+    const std::string keyEq = key + "=";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (used_[i]) continue;
+        if (args_[i] == key) {
+            used_[i] = true;
+            if (isFlag) {
+                value = "1";
+                return true;
+            }
+            if (i + 1 >= args_.size() || used_[i + 1]) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             prog_.c_str(), key.c_str());
+                std::exit(2);
+            }
+            used_[i + 1] = true;
+            value = args_[i + 1];
+            return true;
+        }
+        if (args_[i].rfind(keyEq, 0) == 0) {
+            used_[i] = true;
+            value = args_[i].substr(keyEq.size());
+            if (isFlag) {
+                // Accept an explicit boolean so --flag=0 disables the flag.
+                if (value == "0" || value == "false" || value == "no" ||
+                    value == "off")
+                    return false;
+                value = "1";
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string Cli::getString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+    options_.push_back({name, def, help, false});
+    std::string v;
+    return take(name, v, false) ? v : def;
+}
+
+int Cli::getInt(const std::string& name, int def, const std::string& help) {
+    options_.push_back({name, std::to_string(def), help, false});
+    std::string v;
+    if (!take(name, v, false)) return def;
+    try {
+        std::size_t pos = 0;
+        const int out = std::stoi(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                     prog_.c_str(), name.c_str(), v.c_str());
+        std::exit(2);
+    }
+}
+
+double Cli::getDouble(const std::string& name, double def,
+                      const std::string& help) {
+    options_.push_back({name, std::to_string(def), help, false});
+    std::string v;
+    if (!take(name, v, false)) return def;
+    try {
+        std::size_t pos = 0;
+        const double out = std::stod(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
+                     prog_.c_str(), name.c_str(), v.c_str());
+        std::exit(2);
+    }
+}
+
+bool Cli::getFlag(const std::string& name, const std::string& help) {
+    options_.push_back({name, "", help, true});
+    std::string v;
+    return take(name, v, true);
+}
+
+Int3 Cli::getInt3(const std::string& name, Int3 def, const std::string& help) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%d,%d,%d", def.x, def.y, def.z);
+    options_.push_back({name, buf, help, false});
+    std::string v;
+    if (!take(name, v, false)) return def;
+    for (char& c : v)
+        if (c == 'x' || c == 'X') c = ',';
+    Int3 out{};
+    int consumed = 0;
+    if (std::sscanf(v.c_str(), "%d,%d,%d%n", &out.x, &out.y, &out.z,
+                    &consumed) != 3 ||
+        consumed != static_cast<int>(v.size())) {
+        std::fprintf(stderr,
+                     "%s: --%s expects NX,NY,NZ (or NXxNYxNZ), got '%s'\n",
+                     prog_.c_str(), name.c_str(), v.c_str());
+        std::exit(2);
+    }
+    return out;
+}
+
+void Cli::printHelp() const {
+    std::printf("usage: %s %s\n\noptions:\n", prog_.c_str(),
+                synopsis_.c_str());
+    for (const auto& o : options_) {
+        std::string left = "--" + o.name;
+        if (!o.isFlag) left += " <v>";
+        std::printf("  %-22s %s", left.c_str(), o.help.c_str());
+        if (!o.isFlag && !o.def.empty())
+            std::printf(" [default: %s]", o.def.c_str());
+        std::printf("\n");
+    }
+}
+
+bool Cli::finish() const {
+    if (help_) return true;
+    bool ok = true;
+    for (std::size_t i = 0; i < args_.size(); ++i)
+        if (!used_[i]) {
+            std::fprintf(stderr, "%s: unknown argument '%s' (see --help)\n",
+                         prog_.c_str(), args_[i].c_str());
+            ok = false;
+        }
+    return ok;
+}
+
+} // namespace tpf::app

@@ -1,0 +1,54 @@
+#pragma once
+/// \file cli.h
+/// Minimal declarative command-line parser for the tpf binaries: options are
+/// registered with a default and a help line, values are pulled on demand,
+/// and anything left unconsumed is an error. Supports `--name value`,
+/// `--name=value` and boolean `--name` flags.
+
+#include <string>
+#include <vector>
+
+#include "grid/block_forest.h"
+
+namespace tpf::app {
+
+class Cli {
+public:
+    Cli(int argc, char** argv, std::string synopsis);
+
+    /// True when -h/--help was passed; the caller should printHelp and exit.
+    bool helpRequested() const { return help_; }
+
+    std::string getString(const std::string& name, const std::string& def,
+                          const std::string& help);
+    int getInt(const std::string& name, int def, const std::string& help);
+    double getDouble(const std::string& name, double def,
+                     const std::string& help);
+    bool getFlag(const std::string& name, const std::string& help);
+    /// Comma- or 'x'-separated triple, e.g. "48,48,64" or "48x48x64".
+    Int3 getInt3(const std::string& name, Int3 def, const std::string& help);
+
+    /// Print usage and the registered options (call after all get* calls).
+    void printHelp() const;
+
+    /// True when every argument was consumed; otherwise prints the leftovers
+    /// to stderr. Call after all get* calls.
+    bool finish() const;
+
+private:
+    struct Option {
+        std::string name, def, help;
+        bool isFlag = false;
+    };
+
+    /// Consume `--name <v>` / `--name=v`; returns false when absent.
+    bool take(const std::string& name, std::string& value, bool isFlag);
+
+    std::string prog_, synopsis_;
+    std::vector<std::string> args_;
+    std::vector<bool> used_;
+    std::vector<Option> options_;
+    bool help_ = false;
+};
+
+} // namespace tpf::app

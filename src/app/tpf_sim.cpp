@@ -1,0 +1,280 @@
+/// \file tpf_sim.cpp
+/// Unified scenario driver: every workload previously buried in examples/
+/// and bench_common.h, runnable from one binary.
+///
+///   tpf-sim --scenario solidify   full directional solidification from a
+///                                 Voronoi-seeded melt (the production run)
+///   tpf-sim --scenario interface  benchmark fill: solidification front
+///   tpf-sim --scenario liquid     benchmark fill: pure melt
+///   tpf-sim --scenario solid      benchmark fill: lamellar solid
+///
+/// Grid size, step count, temperature gradient/velocity, rank count,
+/// communication hiding, moving window, and VTK/checkpoint output cadence
+/// are all command-line options; see --help.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "app/cli.h"
+#include "core/regions.h"
+#include "core/solver.h"
+#include "io/checkpoint.h"
+#include "io/writers.h"
+#include "perf/perf.h"
+#include "vmpi/comm.h"
+
+namespace {
+
+using namespace tpf;
+
+struct RunOptions {
+    std::string scenario;
+    std::string outdir;
+    int steps = 0;
+    int ranks = 1;
+    int reportEvery = 0;
+    int vtkEvery = 0;
+    int checkpointEvery = 0;
+};
+
+void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver, int step) {
+    // One file per root-rank block. Sub-domain files carry the block origin
+    // in their name so a partial volume is never mistaken for the full
+    // domain (remote ranks' blocks are not gathered).
+    const bool wholeDomain =
+        opt.ranks == 1 && solver.localBlocks().size() == 1;
+    for (const auto& blk : solver.localBlocks()) {
+        char name[96];
+        if (wholeDomain)
+            std::snprintf(name, sizeof name, "phi_step%06d.vtk", step);
+        else
+            std::snprintf(name, sizeof name,
+                          "phi_step%06d_block_x%d_y%d_z%d.vtk", step,
+                          blk->origin.x, blk->origin.y, blk->origin.z);
+        const std::string path = opt.outdir + "/" + name;
+        io::writeVtkField(path, blk->phiSrc, "phi");
+        std::printf("wrote %s%s\n", path.c_str(),
+                    wholeDomain ? "" : " (rank-0 sub-domain)");
+    }
+}
+
+void writeCheckpoint(const RunOptions& opt, core::Solver& solver, int step,
+                     bool isRoot) {
+    char name[64];
+    std::snprintf(name, sizeof name, "checkpoint_step%06d", step);
+    const std::string dir = opt.outdir + "/" + name;
+    io::saveCheckpoint(dir, solver);
+    if (isRoot) std::printf("wrote %s/\n", dir.c_str());
+}
+
+void report(core::Solver& solver, bool isRoot) {
+    // All three diagnostics are collective: every rank must make the calls,
+    // only root prints.
+    const auto f = solver.phaseFractions();
+    const auto sf = solver.solidFractions();
+    const int front = solver.frontPosition();
+    if (isRoot)
+        std::printf("t=%9.2f  front=%4d  liquid=%.4f  "
+                    "solids %.3f/%.3f/%.3f\n",
+                    solver.time(), front, f[core::LIQ], sf[0], sf[1], sf[2]);
+}
+
+/// Run the configured solver on one (possibly thread-backed) rank: scenario
+/// init, stepping with periodic reporting and output, final summary.
+void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
+             vmpi::Comm* comm) {
+    const bool isRoot = !comm || comm->isRoot();
+    core::Solver solver(cfg, comm);
+
+    if (opt.scenario == "solidify") {
+        solver.initialize(); // Voronoi-seeded melt
+    } else {
+        const core::Scenario sc = opt.scenario == "liquid"
+                                      ? core::Scenario::Liquid
+                                  : opt.scenario == "solid"
+                                      ? core::Scenario::Solid
+                                      : core::Scenario::Interface;
+        for (auto& b : solver.localBlocks())
+            core::fillScenario(*b, sc, solver.system(), cfg.model.eps);
+        solver.restore(/*time=*/0.0, /*windowOffset=*/0.0);
+    }
+
+    report(solver, isRoot); // collective: all ranks participate
+    const double t0 = perf::now();
+
+    const int chunk = std::max(1, opt.reportEvery > 0
+                                      ? opt.reportEvery
+                                      : std::max(1, opt.steps / 8));
+    int lastReport = 0, lastVtk = -1;
+    for (int done = 0; done < opt.steps;) {
+        // Stop at whichever boundary comes first: the report chunk or an
+        // output cadence.
+        int next = std::min(opt.steps, lastReport + chunk);
+        if (opt.vtkEvery > 0)
+            next = std::min(
+                next, (done / opt.vtkEvery + 1) * opt.vtkEvery);
+        if (opt.checkpointEvery > 0)
+            next = std::min(
+                next, (done / opt.checkpointEvery + 1) * opt.checkpointEvery);
+
+        solver.run(next - done);
+        done = next;
+
+        if (done - lastReport >= chunk || done == opt.steps) {
+            report(solver, isRoot);
+            lastReport = done;
+        }
+        if (opt.vtkEvery > 0 && done % opt.vtkEvery == 0) {
+            if (isRoot) writeVtkSnapshot(opt, solver, done);
+            lastVtk = done;
+        }
+        if (opt.checkpointEvery > 0 && done % opt.checkpointEvery == 0)
+            writeCheckpoint(opt, solver, done, isRoot);
+    }
+
+    const double wall = perf::now() - t0;
+    if (!isRoot) return;
+
+    // Final artifacts: a VTK volume of the (root-rank) phi field plus the
+    // run summary, so every invocation leaves output behind (skipped when
+    // the cadence already wrote this step).
+    if (lastVtk != opt.steps) writeVtkSnapshot(opt, solver, opt.steps);
+
+    const long long cells = static_cast<long long>(cfg.globalCells.x) *
+                            cfg.globalCells.y * cfg.globalCells.z;
+    std::printf("\n%d steps on %lld cells in %.2f s", opt.steps, cells, wall);
+    if (wall > 0.0)
+        std::printf("  (%.2f MLUP/s total)",
+                    static_cast<double>(cells) * opt.steps / wall / 1e6);
+    std::printf("\ntimeloop breakdown:\n");
+    for (const auto& t : solver.timeloop().timings())
+        std::printf("  %-18s %8.3f s\n", t.name.c_str(), t.seconds);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace tpf;
+
+    app::Cli cli(argc, argv, "--scenario <solidify|interface|liquid|solid> [options]");
+
+    RunOptions opt;
+    opt.scenario = cli.getString(
+        "scenario", "solidify",
+        "workload: solidify (Voronoi melt), interface, liquid, solid");
+    const Int3 size =
+        cli.getInt3("size", {48, 48, 64}, "global grid NX,NY,NZ");
+    Int3 block = cli.getInt3(
+        "block", {0, 0, 0},
+        "block size (0,0,0: one block per domain, auto z-split for ranks>1)");
+    opt.steps = cli.getInt("steps", 400, "number of time steps");
+    opt.ranks = cli.getInt("ranks", 1, "thread-backed ranks");
+    const double gradient =
+        cli.getDouble("gradient", 0.5, "temperature gradient G [K/cell]");
+    const double velocity = cli.getDouble(
+        "velocity", 0.02, "isotherm pulling velocity v [cells/time]");
+    const double zeut =
+        cli.getDouble("zeut", -1.0,
+                      "initial eutectic isotherm z (-1: 0.375*NZ)");
+    const int fillHeight =
+        cli.getInt("fill-height", -1,
+                   "Voronoi solid fill height (-1: 3*NZ/16)");
+    const int seeds =
+        cli.getInt("seeds", 0, "Voronoi seeds per area (0: auto)");
+    opt.reportEvery =
+        cli.getInt("report-every", 0, "steps between reports (0: steps/8)");
+    opt.vtkEvery =
+        cli.getInt("vtk-every", 0, "steps between VTK snapshots (0: off)");
+    opt.checkpointEvery = cli.getInt("checkpoint-every", 0,
+                                     "steps between checkpoints (0: off)");
+    opt.outdir = cli.getString("out", "tpf_output", "output directory");
+    const std::string overlap = cli.getString(
+        "overlap", "mu", "communication hiding: none, mu, phi, both");
+    const bool window =
+        cli.getFlag("window", "enable the moving window (solidify only)");
+
+    if (cli.helpRequested()) {
+        cli.printHelp();
+        return 0;
+    }
+    if (!cli.finish()) return 2;
+
+    const bool knownScenario =
+        opt.scenario == "solidify" || opt.scenario == "interface" ||
+        opt.scenario == "liquid" || opt.scenario == "solid";
+    if (!knownScenario) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (solidify|interface|liquid|solid)\n",
+                     opt.scenario.c_str());
+        return 2;
+    }
+    if (opt.steps < 0 || opt.ranks < 1 || size.x < 4 || size.y < 1 ||
+        size.z < 2) {
+        std::fprintf(stderr, "invalid --steps/--ranks/--size\n");
+        return 2;
+    }
+    const bool blockGiven = block.x != 0 || block.y != 0 || block.z != 0;
+    if (blockGiven && (block.x < 4 || block.y < 1 || block.z < 1)) {
+        std::fprintf(stderr,
+                     "--block must be all zero (auto) or a valid size; got "
+                     "%d,%d,%d\n",
+                     block.x, block.y, block.z);
+        return 2;
+    }
+    if (size.x % 4 != 0 || (block.x != 0 && block.x % 4 != 0)) {
+        std::fprintf(stderr,
+                     "NX must be divisible by 4 (the production kernels use "
+                     "four-cell vectorization); got %s=%d\n",
+                     size.x % 4 != 0 ? "--size NX" : "--block NX",
+                     size.x % 4 != 0 ? size.x : block.x);
+        return 2;
+    }
+
+    core::SolverConfig cfg;
+    cfg.globalCells = size;
+    cfg.model.temp.gradient = gradient;
+    cfg.model.temp.velocity = velocity;
+    // Same default ratios as examples/quickstart (zEut0=24, fill=12 at
+    // NZ=64) so the two binaries produce comparable trajectories.
+    cfg.model.temp.zEut0 = zeut >= 0.0 ? zeut : 0.375 * size.z;
+    cfg.init.fillHeight = fillHeight >= 0 ? fillHeight : 3 * size.z / 16;
+    cfg.init.seedsPerArea = seeds;
+    cfg.window.enabled = window;
+    cfg.overlapMu = overlap == "mu" || overlap == "both";
+    cfg.overlapPhi = overlap == "phi" || overlap == "both";
+    if (overlap != "none" && overlap != "mu" && overlap != "phi" &&
+        overlap != "both") {
+        std::fprintf(stderr, "unknown --overlap '%s'\n", overlap.c_str());
+        return 2;
+    }
+
+    if (opt.ranks > 1 && !blockGiven) {
+        if (size.z % opt.ranks != 0) {
+            std::fprintf(stderr,
+                         "NZ=%d not divisible by %d ranks; pass --block\n",
+                         size.z, opt.ranks);
+            return 2;
+        }
+        block = {size.x, size.y, size.z / opt.ranks};
+    }
+    cfg.blockSize = block;
+
+    std::filesystem::create_directories(opt.outdir);
+
+    std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, %d rank(s)\n"
+                "         G=%.3f K/cell  v=%.4f cells/t  overlap=%s%s\n\n",
+                opt.scenario.c_str(), size.x, size.y, size.z, opt.steps,
+                opt.ranks, gradient, velocity, overlap.c_str(),
+                window ? "  moving-window" : "");
+
+    if (opt.ranks == 1) {
+        runRank(opt, cfg, nullptr);
+    } else {
+        vmpi::runParallel(opt.ranks,
+                          [&](vmpi::Comm& comm) { runRank(opt, cfg, &comm); });
+    }
+    return 0;
+}

@@ -269,5 +269,34 @@ TEST(MuKernel, PureDiffusionRelaxesPerturbation) {
     EXPECT_LT(d1, 0.5 * d0) << "diffusion must damp the perturbation";
 }
 
+// --- four-cell vectorization guards -----------------------------------------
+// The active Vec4d backend is a compile-time choice (AVX2 with
+// -march=native/TPF_NATIVE_ARCH, SSE2 otherwise), so running this suite in
+// both build configurations exercises the nx % 4 guard in both backends.
+
+TEST(MuKernelSimdGuards, MinimalVectorWidthBlockMatchesBasic) {
+    // nx = 4 is the narrowest block the four-cell kernel accepts.
+    MuFixture fx;
+    auto ref = fx.makeBlock(Scenario::Interface, 77, {4, 8, 8});
+    auto tst = fx.makeBlock(Scenario::Interface, 77, {4, 8, 8});
+    ASSERT_EQ(ref->phiDst.maxAbsDiff(tst->phiDst), 0.0);
+
+    auto cr = fx.ctx(*ref);
+    runMuKernel(MuKernelKind::Basic, *ref, cr);
+    auto ct = fx.ctx(*tst);
+    runMuKernel(MuKernelKind::SimdTzStagCut, *tst, ct);
+
+    EXPECT_LT(ref->muDst.maxAbsDiff(tst->muDst), 1e-11);
+}
+
+TEST(MuKernelSimdGuardsDeathTest, RejectsNxNotDivisibleByFour) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MuFixture fx;
+    auto b = fx.makeBlock(Scenario::Interface, 77, {6, 8, 8});
+    auto c = fx.ctx(*b);
+    EXPECT_DEATH(runMuKernel(MuKernelKind::SimdTzStagCut, *b, c),
+                 "divisible by 4");
+}
+
 } // namespace
 } // namespace tpf::core

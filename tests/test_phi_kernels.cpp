@@ -254,5 +254,33 @@ TEST(PhiKernel, RegionClassificationOfScenarios) {
     EXPECT_GT(sInt.front, 0);
 }
 
+// --- four-cell vectorization guards -----------------------------------------
+// The active Vec4d backend is a compile-time choice (AVX2 with
+// -march=native/TPF_NATIVE_ARCH, SSE2 otherwise), so running this suite in
+// both build configurations exercises the nx % 4 guard in both backends.
+
+TEST(PhiKernelSimdGuards, MinimalVectorWidthBlockMatchesBasic) {
+    // nx = 4 is the narrowest block the four-cell kernel accepts.
+    KernelFixture fx;
+    auto ref = fx.makeBlock(Scenario::Interface, {4, 8, 8}, 77);
+    auto tst = fx.makeBlock(Scenario::Interface, {4, 8, 8}, 77);
+
+    auto ctxRef = fx.ctx(*ref);
+    runPhiKernel(PhiKernelKind::Basic, *ref, ctxRef);
+    auto ctxTst = fx.ctx(*tst);
+    runPhiKernel(PhiKernelKind::SimdFourCell, *tst, ctxTst);
+
+    EXPECT_LT(maxDiff(ref->phiDst, tst->phiDst), 1e-11);
+}
+
+TEST(PhiKernelSimdGuardsDeathTest, RejectsNxNotDivisibleByFour) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    KernelFixture fx;
+    auto b = fx.makeBlock(Scenario::Interface, {6, 8, 8}, 77);
+    auto ctx = fx.ctx(*b);
+    EXPECT_DEATH(runPhiKernel(PhiKernelKind::SimdFourCell, *b, ctx),
+                 "divisible by 4");
+}
+
 } // namespace
 } // namespace tpf::core
