@@ -1,0 +1,39 @@
+# Fails when a documentation file references a repository file that no longer
+# exists — keeps docs/ARCHITECTURE.md's module map honest as the tree evolves.
+#
+#   cmake -DREPO_ROOT=<repo> -P cmake/check_doc_refs.cmake
+#
+# Every `src/...`, `tests/...`, `bench/...`, `examples/...`, `docs/...` or
+# `cmake/...` token with a file extension found in the checked docs must name
+# an existing file. Directory references (no extension) are not checked.
+
+if(NOT DEFINED REPO_ROOT)
+    get_filename_component(REPO_ROOT "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+set(checked_docs
+    "${REPO_ROOT}/docs/ARCHITECTURE.md"
+    "${REPO_ROOT}/docs/KERNELS.md")
+
+set(missing "")
+foreach(doc IN LISTS checked_docs)
+    if(NOT EXISTS "${doc}")
+        message(FATAL_ERROR "doc-check: ${doc} does not exist")
+    endif()
+    file(READ "${doc}" content)
+    string(REGEX MATCHALL
+        "(src|tests|bench|examples|docs|cmake)/[A-Za-z0-9_/.-]*\\.(h|cpp|md|cmake|txt|yml)"
+        refs "${content}")
+    list(REMOVE_DUPLICATES refs)
+    foreach(ref IN LISTS refs)
+        if(NOT EXISTS "${REPO_ROOT}/${ref}")
+            list(APPEND missing "  ${doc}: ${ref}")
+        endif()
+    endforeach()
+endforeach()
+
+if(missing)
+    list(JOIN missing "\n" lines)
+    message(FATAL_ERROR "doc-check: stale file references:\n${lines}")
+endif()
+message(STATUS "doc-check: all referenced files exist")

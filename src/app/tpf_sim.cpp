@@ -149,9 +149,10 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     if (wall > 0.0)
         std::printf("  (%.2f MLUP/s total)",
                     static_cast<double>(cells) * opt.steps / wall / 1e6);
-    std::printf("\ntimeloop breakdown:\n");
+    std::printf("\ntimeloop breakdown (total / worst step):\n");
     for (const auto& t : solver.timeloop().timings())
-        std::printf("  %-18s %8.3f s\n", t.name.c_str(), t.seconds);
+        std::printf("  %-18s %8.3f s  %8.5f s\n", t.name.c_str(), t.seconds,
+                    t.maxSeconds);
 }
 
 } // namespace
@@ -172,6 +173,9 @@ int main(int argc, char** argv) {
         "block size (0,0,0: one block per domain, auto z-split for ranks>1)");
     opt.steps = cli.getInt("steps", 400, "number of time steps");
     opt.ranks = cli.getInt("ranks", 1, "thread-backed ranks");
+    const int threads = cli.getInt(
+        "threads", 1,
+        "intra-rank sweep threads per rank (hybrid: ranks x threads cores)");
     const double gradient =
         cli.getDouble("gradient", 0.5, "temperature gradient G [K/cell]");
     const double velocity = cli.getDouble(
@@ -211,9 +215,19 @@ int main(int argc, char** argv) {
                      opt.scenario.c_str());
         return 2;
     }
-    if (opt.steps < 0 || opt.ranks < 1 || size.x < 4 || size.y < 1 ||
-        size.z < 2) {
-        std::fprintf(stderr, "invalid --steps/--ranks/--size\n");
+    if (opt.steps < 0 || opt.ranks < 1 || threads < 1 || size.x < 4 ||
+        size.y < 1 || size.z < 2) {
+        std::fprintf(stderr, "invalid --steps/--ranks/--threads/--size\n");
+        return 2;
+    }
+    // Each rank spawns its own pool: cap the total so a typo fails cleanly
+    // instead of exhausting OS threads in the ThreadPool constructor.
+    const int maxWorkers = 256;
+    if (opt.ranks * threads > maxWorkers) {
+        std::fprintf(stderr,
+                     "--ranks x --threads = %d exceeds the limit of %d "
+                     "workers\n",
+                     opt.ranks * threads, maxWorkers);
         return 2;
     }
     const bool blockGiven = block.x != 0 || block.y != 0 || block.z != 0;
@@ -235,6 +249,7 @@ int main(int argc, char** argv) {
 
     core::SolverConfig cfg;
     cfg.globalCells = size;
+    cfg.threads = threads;
     cfg.model.temp.gradient = gradient;
     cfg.model.temp.velocity = velocity;
     // Same default ratios as examples/quickstart (zEut0=24, fill=12 at
@@ -264,10 +279,11 @@ int main(int argc, char** argv) {
 
     std::filesystem::create_directories(opt.outdir);
 
-    std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, %d rank(s)\n"
+    std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, "
+                "%d rank(s) x %d thread(s)\n"
                 "         G=%.3f K/cell  v=%.4f cells/t  overlap=%s%s\n\n",
                 opt.scenario.c_str(), size.x, size.y, size.z, opt.steps,
-                opt.ranks, gradient, velocity, overlap.c_str(),
+                opt.ranks, threads, gradient, velocity, overlap.c_str(),
                 window ? "  moving-window" : "");
 
     if (opt.ranks == 1) {

@@ -1,6 +1,7 @@
 #include "core/boundary.h"
 
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace tpf::core {
 
@@ -31,7 +32,7 @@ bool atDomainBoundary(const BlockForest& bf, int blockIdx, int face) {
 } // namespace
 
 void applyBoundaries(Field<double>& f, const BlockForest& bf, int blockIdx,
-                     const FieldBCs& bc) {
+                     const FieldBCs& bc, util::ThreadPool* pool) {
     TPF_ASSERT(f.ghost() == 1, "boundary handling assumes one ghost layer");
     const int n[3] = {f.nx(), f.ny(), f.nz()};
 
@@ -61,25 +62,40 @@ void applyBoundaries(Field<double>& f, const BlockForest& bf, int blockIdx,
             TPF_ASSERT(static_cast<int>(val.size()) == f.nf(),
                        "Dirichlet value needs one entry per component");
 
-        int idx[3];
-        for (idx[2] = lo[2]; idx[2] <= hi[2]; ++idx[2]) {
-            for (idx[1] = lo[1]; idx[1] <= hi[1]; ++idx[1]) {
-                for (idx[0] = lo[0]; idx[0] <= hi[0]; ++idx[0]) {
-                    int gc[3] = {idx[0], idx[1], idx[2]};
-                    int ic[3] = {idx[0], idx[1], idx[2]};
-                    gc[fd.axis] = ghostCoord;
-                    ic[fd.axis] = interiorCoord;
-                    for (int c = 0; c < f.nf(); ++c) {
-                        const double interior = f(ic[0], ic[1], ic[2], c);
-                        f(gc[0], gc[1], gc[2], c) =
-                            dirichlet
-                                ? 2.0 * val[static_cast<std::size_t>(c)] -
-                                      interior
-                                : interior;
+        // Fan the face fill out over its largest extent: z for x/y faces,
+        // y for z faces (whose z index is pinned to the face itself).
+        const int parAxis = fd.axis == 2 ? 1 : 2;
+        const int span = hi[parAxis] - lo[parAxis] + 1;
+
+        auto fillSlice = [&](int k) {
+            int slo[3] = {lo[0], lo[1], lo[2]};
+            int shi[3] = {hi[0], hi[1], hi[2]};
+            slo[parAxis] = shi[parAxis] = lo[parAxis] + k;
+            int idx[3];
+            for (idx[2] = slo[2]; idx[2] <= shi[2]; ++idx[2]) {
+                for (idx[1] = slo[1]; idx[1] <= shi[1]; ++idx[1]) {
+                    for (idx[0] = slo[0]; idx[0] <= shi[0]; ++idx[0]) {
+                        int gc[3] = {idx[0], idx[1], idx[2]};
+                        int ic[3] = {idx[0], idx[1], idx[2]};
+                        gc[fd.axis] = ghostCoord;
+                        ic[fd.axis] = interiorCoord;
+                        for (int c = 0; c < f.nf(); ++c) {
+                            const double interior = f(ic[0], ic[1], ic[2], c);
+                            f(gc[0], gc[1], gc[2], c) =
+                                dirichlet
+                                    ? 2.0 * val[static_cast<std::size_t>(c)] -
+                                          interior
+                                    : interior;
+                        }
                     }
                 }
             }
-        }
+        };
+
+        if (pool && pool->threads() > 1 && span > 1)
+            pool->parallelFor(span, fillSlice);
+        else
+            for (int k = 0; k < span; ++k) fillSlice(k);
     }
 }
 

@@ -15,6 +15,10 @@
 #include "grid/block_forest.h"
 #include "grid/field.h"
 
+namespace tpf::util {
+class ThreadPool;
+}
+
 namespace tpf::core {
 
 enum class BCType {
@@ -40,7 +44,13 @@ struct FieldBCs {
 /// Apply the configured boundary conditions to the ghost layers of \p f for
 /// the block \p blockIdx of \p bf. Faces interior to the domain (where a
 /// neighbor block exists) are skipped.
+///
+/// With a \p pool the fill of each face fans out over its largest extent
+/// (faces themselves stay sequential — the staged x/y/z composition reads
+/// ghosts written by earlier faces). Every ghost cell is written exactly
+/// once from interior values of the same face, so the result is identical
+/// for any thread count.
 void applyBoundaries(Field<double>& f, const BlockForest& bf, int blockIdx,
-                     const FieldBCs& bc);
+                     const FieldBCs& bc, util::ThreadPool* pool = nullptr);
 
 } // namespace tpf::core

@@ -28,6 +28,7 @@
 
 #include "core/sim_block.h"
 #include "core/temperature.h"
+#include "grid/cell_interval.h"
 
 namespace tpf::core {
 
@@ -67,6 +68,30 @@ struct StepContext {
     const FrozenTemperature* temp = nullptr; ///< analytic T (non-Tz variants)
     double time = 0.0;
     double windowOffset = 0.0;
+
+    /// z-slab restriction of the sweep in local block coordinates, half-open
+    /// [zBegin, zEnd); zEnd == -1 means the full block extent. Used by the
+    /// slab-parallel execution layer (core/slab_sweep.h): every variant
+    /// restarts its staggered z-carries at zBegin with the same face-flux
+    /// expression the full sweep buffers, so a slabbed sweep matches an
+    /// unrestricted one in value — byte-for-byte only across runs using the
+    /// *same* partition, since shortcut paths may buffer +0.0 where a seed
+    /// computes -0.0 (which is why parallelForSlabs slabs even its serial
+    /// path; see docs/KERNELS.md).
+    int zBegin = 0;
+    int zEnd = -1;
+
+    /// The resolved half-open z-range for a block of \p nz interior slices.
+    int zLo() const { return zBegin; }
+    int zHi(int nz) const { return zEnd < 0 ? nz : zEnd; }
+
+    /// Copy of this context restricted to the z-extent of \p slab.
+    StepContext forSlab(const CellInterval& slab) const {
+        StepContext c = *this;
+        c.zBegin = slab.zMin;
+        c.zEnd = slab.zMax + 1;
+        return c;
+    }
 };
 
 void runPhiKernel(PhiKernelKind k, SimBlock& b, const StepContext& ctx);

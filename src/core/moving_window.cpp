@@ -1,5 +1,7 @@
 #include "core/moving_window.h"
 
+#include "util/thread_pool.h"
+
 namespace tpf::core {
 
 int localSolidFrontZ(const std::vector<std::unique_ptr<SimBlock>>& blocks) {
@@ -21,16 +23,19 @@ int localSolidFrontZ(const std::vector<std::unique_ptr<SimBlock>>& blocks) {
 }
 
 void shiftDownOneCell(SimBlock& b, const BlockForest& bf,
-                      const thermo::TernarySystem& sys) {
+                      const thermo::TernarySystem& sys,
+                      util::ThreadPool* pool) {
     const bool topBlock =
         bf.blockCoords(b.blockIdx).z == bf.blockGrid().z - 1;
     const Vec2 muE = sys.muEut();
     const int nz = b.size.z;
 
+    // Each (x, y) column shifts independently; fanning out over y-rows keeps
+    // the per-column z order (read z+1 before it is overwritten) intact.
     auto shiftField = [&](Field<double>& f, bool isPhi) {
-        for (int z = 0; z < nz; ++z) {
-            const bool fromGhost = (z == nz - 1);
-            for (int y = 0; y < f.ny(); ++y) {
+        auto shiftRow = [&](int y) {
+            for (int z = 0; z < nz; ++z) {
+                const bool fromGhost = (z == nz - 1);
                 for (int x = 0; x < f.nx(); ++x) {
                     if (fromGhost && topBlock) {
                         // Fresh melt enters from above.
@@ -47,7 +52,11 @@ void shiftDownOneCell(SimBlock& b, const BlockForest& bf,
                     }
                 }
             }
-        }
+        };
+        if (pool && pool->threads() > 1)
+            pool->parallelFor(f.ny(), shiftRow);
+        else
+            for (int y = 0; y < f.ny(); ++y) shiftRow(y);
     };
     shiftField(b.phiSrc, true);
     shiftField(b.muSrc, false);

@@ -8,6 +8,10 @@
 #include "core/sim_block.h"
 #include "thermo/system.h"
 
+namespace tpf::util {
+class ThreadPool;
+}
+
 namespace tpf::core {
 
 struct MovingWindowConfig {
@@ -26,7 +30,11 @@ int localSolidFrontZ(const std::vector<std::unique_ptr<SimBlock>>& blocks);
 /// slice is taken from the z+1 ghost layer (valid neighbor data after a
 /// ghost exchange); blocks at the global top get fresh liquid at the eutectic
 /// chemical potential instead.
+///
+/// The shift is independent per (x, y) column; with a \p pool the y-rows fan
+/// out over the threads (pure copies — bitwise identical for any count).
 void shiftDownOneCell(SimBlock& b, const BlockForest& bf,
-                      const thermo::TernarySystem& sys);
+                      const thermo::TernarySystem& sys,
+                      util::ThreadPool* pool = nullptr);
 
 } // namespace tpf::core

@@ -26,13 +26,17 @@ void muSweepScalarOpt(SimBlock& blk, const StepContext& ctx, bool shortcuts,
     const bool at = part != MuSweepPart::LocalOnly;
 
     const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+    const int z0 = ctx.zLo(), z1 = ctx.zHi(nz);
 
     // Staggered buffers: each face value holds the KC = 2 flux components.
+    // The z-plane buffer is seeded with an explicit face computation at the
+    // slab bottom (z == z0) — the identical muFaceFluxAt call the full sweep
+    // buffers, so slabbed and full sweeps stay bitwise equal.
     std::vector<double> rowY(static_cast<std::size_t>(nx) * KC);
     std::vector<double> planeZ(static_cast<std::size_t>(nx) * ny * KC);
     double carryX[KC] = {};
 
-    for (int z = 0; z < nz; ++z) {
+    for (int z = z0; z < z1; ++z) {
         const SliceThermo stM = ctx.tz->at(z - 1);
         const SliceThermo stC = ctx.tz->at(z);
         const SliceThermo stP = ctx.tz->at(z + 1);
@@ -68,7 +72,7 @@ void muSweepScalarOpt(SimBlock& blk, const StepContext& ctx, bool shortcuts,
 
                 double* pz =
                     planeZ.data() + (static_cast<std::size_t>(y) * nx + x) * KC;
-                if (z == 0)
+                if (z == z0)
                     muFaceFluxAt(mc, P, Pd, Mu, stM, stC, 2, x, y, z - 1, gr, at,
                                  shortcuts, fzmX, fzmY);
                 else {

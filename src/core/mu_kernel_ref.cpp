@@ -89,7 +89,7 @@ void muSweepImpl(SimBlock& blk, const StepContext& ctx, bool useCache,
     const bool gr = part != MuSweepPart::NeighborOnly;
     const bool at = part != MuSweepPart::LocalOnly;
 
-    for (int z = 0; z < blk.size.z; ++z) {
+    for (int z = ctx.zLo(); z < ctx.zHi(blk.size.z); ++z) {
         const SliceThermo stM = sp.at(z - 1);
         const SliceThermo stC = sp.at(z);
         const SliceThermo stP = sp.at(z + 1);

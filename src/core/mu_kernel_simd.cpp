@@ -286,6 +286,7 @@ void muSweepSimdFourCell(SimBlock& blk, const StepContext& ctx, bool useTz,
     const Field<double>& Mu = blk.muSrc;
     Field<double>& Dst = blk.muDst;
     const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+    const int z0 = ctx.zLo(), z1 = ctx.zHi(nz);
 
     const bool applyOnDst = part == MuSweepPart::NeighborOnly;
     const bool gr = part != MuSweepPart::NeighborOnly;
@@ -311,7 +312,7 @@ void muSweepSimdFourCell(SimBlock& blk, const StepContext& ctx, bool useTz,
         return computeSliceThermo(mc, T);
     };
 
-    for (int z = 0; z < nz; ++z) {
+    for (int z = z0; z < z1; ++z) {
         // With the T(z) optimization the slice values come from the per-step
         // cache; the "basic" variant recomputes them for every cell group —
         // the redundant work the optimization removes.
@@ -368,7 +369,9 @@ void muSweepSimdFourCell(SimBlock& blk, const StepContext& ctx, bool useTz,
                         planeZX.data() + static_cast<std::size_t>(y) * nx + x;
                     double* pzy =
                         planeZY.data() + static_cast<std::size_t>(y) * nx + x;
-                    if (z == 0) {
+                    if (z == z0) {
+                        // Slab bottom: seed the z-carry with the identical
+                        // muFace4 call the full sweep buffered at z - 1.
                         muFace4(mc, P, Pd, Mu, stM, stC, 2, x, y, z - 1, gr, at,
                                 shortcuts, fzmX, fzmY);
                     } else {

@@ -49,14 +49,17 @@ void phiSweepScalarOpt(SimBlock& blk, const StepContext& ctx, bool shortcuts) {
     Field<double>& Dst = blk.phiDst;
 
     const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+    const int z0 = ctx.zLo(), z1 = ctx.zHi(nz);
 
     // Staggered-value buffers: carry (one face), y-row (nx faces), z-plane
-    // (nx*ny faces); each entry holds the N flux components of one face.
+    // (nx*ny faces); each entry holds the N flux components of one face. The
+    // z-plane buffer is seeded by an explicit face-flux at the slab bottom
+    // (z == z0), exactly like the x/y buffers at the start of a row/plane.
     std::vector<double> rowY(static_cast<std::size_t>(nx) * N);
     std::vector<double> planeZ(static_cast<std::size_t>(nx) * ny * N);
     double carryX[N] = {};
 
-    for (int z = 0; z < nz; ++z) {
+    for (int z = z0; z < z1; ++z) {
         const SliceThermo st = ctx.tz->at(z);
         for (int y = 0; y < ny; ++y) {
             for (int x = 0; x < nx; ++x) {
@@ -106,7 +109,7 @@ void phiSweepScalarOpt(SimBlock& blk, const StepContext& ctx, bool shortcuts) {
 
                 double* pz =
                     planeZ.data() + (static_cast<std::size_t>(y) * nx + x) * N;
-                if (z == 0)
+                if (z == z0)
                     phiFaceFlux(mc, pB, pC, fzm);
                 else
                     for (int a = 0; a < N; ++a) fzm[a] = pz[a];

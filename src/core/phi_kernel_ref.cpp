@@ -120,7 +120,7 @@ void phiSweepImpl(SimBlock& blk, const StepContext& ctx, bool useCache,
     Field<double>& Dst = blk.phiDst;
     const SliceProvider sp{ctx, blk, useCache};
 
-    for (int z = 0; z < blk.size.z; ++z) {
+    for (int z = ctx.zLo(); z < ctx.zHi(blk.size.z); ++z) {
         const SliceThermo st = sp.at(z);
         for (int y = 0; y < blk.size.y; ++y) {
             for (int x = 0; x < blk.size.x; ++x) {

@@ -220,16 +220,19 @@ void phiSweepCellwiseImpl(SimBlock& blk, const StepContext& ctx, bool useTz,
     const Field<double>& Mu = blk.muSrc;
     Field<double>& Dst = blk.phiDst;
     const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+    const int z0 = ctx.zLo(), z1 = ctx.zHi(nz);
     const V one = V::broadcast(1.0);
 
     // Staggered buffers (vector slots, 32-byte strided on a 64-byte base).
+    // The z-plane buffer restarts at the slab bottom (z == z0) with the same
+    // faceFluxV expression the full sweep would have buffered there.
     std::vector<double, AlignedAllocator<double>> rowY, planeZ;
     if (useStag) {
         rowY.assign(static_cast<std::size_t>(nx) * 4, 0.0);
         planeZ.assign(static_cast<std::size_t>(nx) * ny * 4, 0.0);
     }
 
-    for (int z = 0; z < nz; ++z) {
+    for (int z = z0; z < z1; ++z) {
         SliceThermo st;
         SliceVec sv;
         if (useTz) {
@@ -294,7 +297,7 @@ void phiSweepCellwiseImpl(SimBlock& blk, const StepContext& ctx, bool useTz,
                     double* pz =
                         planeZ.data() +
                         (static_cast<std::size_t>(y) * nx + x) * 4;
-                    fzm = (z == 0) ? faceFluxV(sc, pB, pC) : V::load(pz);
+                    fzm = (z == z0) ? faceFluxV(sc, pB, pC) : V::load(pz);
                     fzp = faceFluxV(sc, pC, pT);
                     fzp.store(pz);
                 } else {
@@ -372,7 +375,7 @@ void phiSweepSimdFourCell(SimBlock& blk, const StepContext& ctx) {
     const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
     const V one = V::broadcast(1.0);
 
-    for (int z = 0; z < nz; ++z) {
+    for (int z = ctx.zLo(); z < ctx.zHi(nz); ++z) {
         const SliceThermo st = ctx.tz->at(z);
         const V Tt = V::broadcast(st.Tt);
         for (int y = 0; y < ny; ++y) {

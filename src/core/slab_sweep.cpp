@@ -1,0 +1,46 @@
+#include "core/slab_sweep.h"
+
+namespace tpf::core {
+
+std::vector<CellInterval> slabPartition(const CellInterval& ci) {
+    std::vector<CellInterval> slabs;
+    if (ci.empty()) return slabs;
+    for (int z0 = ci.zMin; z0 <= ci.zMax; z0 += kSlabHeight) {
+        CellInterval s = ci;
+        s.zMin = z0;
+        s.zMax = std::min(ci.zMax, z0 + kSlabHeight - 1);
+        slabs.push_back(s);
+    }
+    return slabs;
+}
+
+void parallelForSlabs(util::ThreadPool* pool, const CellInterval& ci,
+                      const std::function<void(const CellInterval&)>& fn) {
+    const std::vector<CellInterval> slabs = slabPartition(ci);
+    if (slabs.empty()) return;
+    if (!pool || pool->threads() == 1 || slabs.size() == 1) {
+        // Deliberately still slabbed: a single whole-interval sweep could
+        // store a shortcut's buffered +0.0 where a slab-seeded sweep computes
+        // -0.0, so collapsing the serial path to one fn(ci) call would break
+        // the *byte*-level thread-count invariance of checkpoints (equal
+        // values, different zero signs — see docs/KERNELS.md). The cost of
+        // slabbing is one extra seed face-flux plane per slab, ~1-2% of a
+        // sweep.
+        for (const CellInterval& s : slabs) fn(s);
+        return;
+    }
+    pool->parallelFor(static_cast<int>(slabs.size()),
+                      [&](int i) { fn(slabs[static_cast<std::size_t>(i)]); });
+}
+
+void parallelForSlabs(const CellInterval& ci, int nthreads,
+                      const std::function<void(const CellInterval&)>& fn) {
+    if (nthreads <= 1) {
+        parallelForSlabs(nullptr, ci, fn);
+        return;
+    }
+    util::ThreadPool pool(nthreads);
+    parallelForSlabs(&pool, ci, fn);
+}
+
+} // namespace tpf::core

@@ -1,0 +1,46 @@
+#pragma once
+/// \file slab_sweep.h
+/// Slab-parallel kernel execution: splits a sweep interval into z-slabs and
+/// distributes them over a util::ThreadPool, so one vmpi rank can use several
+/// cores for the phi/mu sweeps (hybrid ranks x threads mode).
+///
+/// Determinism guarantee (relied upon by the solver equivalence tests and
+/// documented in docs/KERNELS.md): the partition is a function of the
+/// interval ALONE — never of the thread count — and every slab is computed by
+/// an independent kernel invocation whose staggered carries restart at the
+/// slab bottom with the exact same face-flux expression the full sweep would
+/// have buffered. Fields produced with any thread count are therefore
+/// bitwise identical; threads only change which core computes which slab.
+
+#include <functional>
+#include <vector>
+
+#include "grid/cell_interval.h"
+#include "util/thread_pool.h"
+
+namespace tpf::core {
+
+/// z-planes per slab. Small enough that a 48-cell block still fans out over
+/// several cores, large enough that the per-slab carry restart (one extra
+/// face-flux plane) stays ~1-2% of the sweep. Fixed — see the determinism
+/// guarantee above.
+inline constexpr int kSlabHeight = 8;
+
+/// Split \p ci into z-slabs of kSlabHeight planes (the last slab takes the
+/// remainder). Slabs are returned bottom-up, are pairwise disjoint, and cover
+/// \p ci exactly. An empty interval yields no slabs.
+std::vector<CellInterval> slabPartition(const CellInterval& ci);
+
+/// Run \p fn once per slab of \p ci, distributing slabs over \p pool
+/// (nullptr or a 1-thread pool: serial, in bottom-up order). Blocks until
+/// every slab completed; exceptions propagate per ThreadPool::parallelFor.
+void parallelForSlabs(util::ThreadPool* pool, const CellInterval& ci,
+                      const std::function<void(const CellInterval&)>& fn);
+
+/// Convenience overload for one-shot callers (tests, benches): spins up a
+/// transient pool of \p nthreads. Long-lived callers (Solver) keep a
+/// persistent pool instead — thread creation per sweep is not free.
+void parallelForSlabs(const CellInterval& ci, int nthreads,
+                      const std::function<void(const CellInterval&)>& fn);
+
+} // namespace tpf::core

@@ -25,6 +25,11 @@ Solver::Solver(SolverConfig cfg, vmpi::Comm* comm)
                                                      cfg_.muLayout));
     tz_.resize(blocks_.size());
 
+    // Intra-rank worker pool for the slab-parallel sweeps (hybrid mode).
+    // Each rank owns its pool, so ranks x threads cores are used in total.
+    if (cfg_.threads > 1)
+        pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+
     // Exchange schemes. phi needs D3C19 ghosts (the mu-sweep reads diagonal
     // phi neighbors for the anti-trapping current), mu only faces (D3C7).
     phiEx_ = std::make_unique<GhostExchange>(bf_, comm_, StencilKind::D3C19,
@@ -68,6 +73,24 @@ StepContext Solver::makeContext(std::size_t blockSlot) const {
     return ctx;
 }
 
+void Solver::sweepPhi(std::size_t blockSlot, SimBlock& b) {
+    const StepContext base = makeContext(blockSlot);
+    const CellInterval whole{0, 0, 0, b.size.x - 1, b.size.y - 1,
+                             b.size.z - 1};
+    parallelForSlabs(pool_.get(), whole, [&](const CellInterval& slab) {
+        runPhiKernel(cfg_.phiKernel, b, base.forSlab(slab));
+    });
+}
+
+void Solver::sweepMu(std::size_t blockSlot, SimBlock& b, MuSweepPart part) {
+    const StepContext base = makeContext(blockSlot);
+    const CellInterval whole{0, 0, 0, b.size.x - 1, b.size.y - 1,
+                             b.size.z - 1};
+    parallelForSlabs(pool_.get(), whole, [&](const CellInterval& slab) {
+        runMuKernel(cfg_.muKernel, b, base.forSlab(slab), part);
+    });
+}
+
 void Solver::buildTimeloop() {
     auto forAllBlocks = [this](auto fn) {
         for (std::size_t i = 0; i < blocks_.size(); ++i) fn(i, *blocks_[i]);
@@ -90,16 +113,14 @@ void Solver::buildTimeloop() {
         loop_.add("mu-comm-start", [this] { muEx_->start(); });
 
     loop_.add("phi-sweep", [this, forAllBlocks] {
-        forAllBlocks([&](std::size_t i, SimBlock& b) {
-            runPhiKernel(cfg_.phiKernel, b, makeContext(i));
-        });
+        forAllBlocks([&](std::size_t i, SimBlock& b) { sweepPhi(i, b); });
     });
 
     if (cfg_.overlapMu) {
         loop_.add("mu-comm-wait", [this, forAllBlocks] {
             muEx_->wait();
             forAllBlocks([&](std::size_t, SimBlock& b) {
-                applyBoundaries(b.muSrc, bf_, b.blockIdx, muBC_);
+                applyBoundaries(b.muSrc, bf_, b.blockIdx, muBC_, pool_.get());
             });
         });
     }
@@ -108,32 +129,30 @@ void Solver::buildTimeloop() {
         loop_.add("phi-comm-start", [this] { phiEx_->start(); });
         loop_.add("mu-sweep-local", [this, forAllBlocks] {
             forAllBlocks([&](std::size_t i, SimBlock& b) {
-                runMuKernel(cfg_.muKernel, b, makeContext(i),
-                            MuSweepPart::LocalOnly);
+                sweepMu(i, b, MuSweepPart::LocalOnly);
             });
         });
         loop_.add("phi-comm-wait", [this, forAllBlocks] {
             phiEx_->wait();
             forAllBlocks([&](std::size_t, SimBlock& b) {
-                applyBoundaries(b.phiDst, bf_, b.blockIdx, phiBC_);
+                applyBoundaries(b.phiDst, bf_, b.blockIdx, phiBC_, pool_.get());
             });
         });
         loop_.add("mu-sweep-neighbor", [this, forAllBlocks] {
             forAllBlocks([&](std::size_t i, SimBlock& b) {
-                runMuKernel(cfg_.muKernel, b, makeContext(i),
-                            MuSweepPart::NeighborOnly);
+                sweepMu(i, b, MuSweepPart::NeighborOnly);
             });
         });
     } else {
         loop_.add("phi-comm", [this, forAllBlocks] {
             phiEx_->communicate();
             forAllBlocks([&](std::size_t, SimBlock& b) {
-                applyBoundaries(b.phiDst, bf_, b.blockIdx, phiBC_);
+                applyBoundaries(b.phiDst, bf_, b.blockIdx, phiBC_, pool_.get());
             });
         });
         loop_.add("mu-sweep", [this, forAllBlocks] {
             forAllBlocks([&](std::size_t i, SimBlock& b) {
-                runMuKernel(cfg_.muKernel, b, makeContext(i), MuSweepPart::Full);
+                sweepMu(i, b, MuSweepPart::Full);
             });
         });
     }
@@ -142,7 +161,7 @@ void Solver::buildTimeloop() {
         loop_.add("mu-comm", [this, forAllBlocks] {
             muEx_->communicate();
             forAllBlocks([&](std::size_t, SimBlock& b) {
-                applyBoundaries(b.muDst, bf_, b.blockIdx, muBC_);
+                applyBoundaries(b.muDst, bf_, b.blockIdx, muBC_, pool_.get());
             });
         });
     }
@@ -165,8 +184,8 @@ void Solver::communicateAll() {
     phiSrcEx.communicate();
     muSrcEx.communicate();
     for (auto& b : blocks_) {
-        applyBoundaries(b->phiSrc, bf_, b->blockIdx, phiBC_);
-        applyBoundaries(b->muSrc, bf_, b->blockIdx, muBC_);
+        applyBoundaries(b->phiSrc, bf_, b->blockIdx, phiBC_, pool_.get());
+        applyBoundaries(b->muSrc, bf_, b->blockIdx, muBC_, pool_.get());
     }
 }
 
@@ -202,7 +221,7 @@ void Solver::maybeShiftWindow() {
     int shifts = 0;
     while (front >= 0 && static_cast<double>(front - shifts) > trigger &&
            shifts < cfg_.globalCells.z / 4) {
-        for (auto& b : blocks_) shiftDownOneCell(*b, bf_, sys_);
+        for (auto& b : blocks_) shiftDownOneCell(*b, bf_, sys_, pool_.get());
         windowOffset_ += 1.0;
         ++shifts;
         // Shifting consumed the z+1 ghosts; re-synchronize before either the

@@ -18,9 +18,11 @@
 #include "core/kernels.h"
 #include "core/moving_window.h"
 #include "core/regions.h"
+#include "core/slab_sweep.h"
 #include "core/timeloop.h"
 #include "core/voronoi.h"
 #include "thermo/agalcu.h"
+#include "util/thread_pool.h"
 #include "vmpi/comm.h"
 
 namespace tpf::core {
@@ -45,6 +47,11 @@ struct SolverConfig {
     /// mu-sweep whose overhead exceeds the gain.
     bool overlapPhi = false;
     bool overlapMu = false;
+
+    /// Intra-rank threads for the kernel/boundary/window sweeps (hybrid
+    /// ranks x threads mode). 1 = serial rank. Results are bitwise
+    /// independent of this value — see core/slab_sweep.h.
+    int threads = 1;
 
     VoronoiConfig init;
     MovingWindowConfig window;
@@ -103,6 +110,9 @@ private:
     void buildTimeloop();
     void communicateAll(); ///< full ghost sync + boundary handling of src fields
     StepContext makeContext(std::size_t blockSlot) const;
+    /// Slab-parallel phi/mu sweep of one block (serial when pool_ is null).
+    void sweepPhi(std::size_t blockSlot, SimBlock& b);
+    void sweepMu(std::size_t blockSlot, SimBlock& b, MuSweepPart part);
 
     SolverConfig cfg_;
     vmpi::Comm* comm_;
@@ -112,6 +122,7 @@ private:
 
     std::vector<std::unique_ptr<SimBlock>> blocks_;
     std::vector<TzCache> tz_;
+    std::unique_ptr<util::ThreadPool> pool_; ///< created when cfg.threads > 1
 
     std::unique_ptr<GhostExchange> phiEx_; ///< on phiDst (D3C19)
     std::unique_ptr<GhostExchange> muEx_;  ///< on muDst/muSrc (D3C7)

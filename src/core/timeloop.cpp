@@ -1,6 +1,9 @@
 #include "core/timeloop.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "util/assert.h"
 
 namespace tpf::core {
 
@@ -9,19 +12,44 @@ double now() {
     using clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
+
+/// Records one functor call into its Timing on scope exit, so a throwing
+/// functor (e.g. an exception rethrown from a thread-pool fan-out) is still
+/// accounted — without this, timings() silently undercounted failed calls
+/// and `calls` drifted out of sync across functors.
+struct ScopedTiming {
+    Timeloop::Timing& t;
+    double t0 = now();
+    ~ScopedTiming() {
+        const double dt = now() - t0;
+        t.seconds += dt;
+        t.maxSeconds = std::max(t.maxSeconds, dt);
+        ++t.calls;
+    }
+};
+
+/// Flags reentrant singleStep() calls (a functor — possibly running on a
+/// pool thread — must never re-enter the loop that is timing it).
+struct ReentryGuard {
+    bool& flag;
+    explicit ReentryGuard(bool& f) : flag(f) {
+        TPF_ASSERT(!flag, "Timeloop::singleStep is not reentrant");
+        flag = true;
+    }
+    ~ReentryGuard() { flag = false; }
+};
 } // namespace
 
 void Timeloop::add(std::string name, std::function<void()> fn) {
     fns_.push_back(std::move(fn));
-    timings_.push_back({std::move(name), 0.0, 0});
+    timings_.push_back({std::move(name), 0.0, 0.0, 0});
 }
 
 void Timeloop::singleStep() {
+    ReentryGuard guard(inStep_);
     for (std::size_t i = 0; i < fns_.size(); ++i) {
-        const double t0 = now();
+        ScopedTiming timing{timings_[i]};
         fns_[i]();
-        timings_[i].seconds += now() - t0;
-        ++timings_[i].calls;
     }
     ++steps_;
 }
@@ -33,6 +61,7 @@ void Timeloop::run(int steps) {
 void Timeloop::resetTimings() {
     for (auto& t : timings_) {
         t.seconds = 0.0;
+        t.maxSeconds = 0.0;
         t.calls = 0;
     }
 }

@@ -4,6 +4,14 @@
 /// class): compute kernels, communication and boundary handling register as
 /// named functors; per-functor wall-clock times are accumulated for the
 /// communication-hiding analysis (Figure 8 of the paper).
+///
+/// Thread-awareness contract: functors may fan work out to a
+/// util::ThreadPool, but singleStep() itself always runs on the loop's own
+/// thread and each functor is accounted by the *wall time of its fan-out* on
+/// that thread — never by the sum of per-thread busy times (which would
+/// overcount an n-thread sweep n-fold). Timing is recorded even when a
+/// functor throws (e.g. an exception propagated from a pool worker), so
+/// timings()/calls stay consistent with what actually executed.
 
 #include <functional>
 #include <string>
@@ -16,7 +24,8 @@ public:
     /// Append a named step executed once per time step, in order.
     void add(std::string name, std::function<void()> fn);
 
-    /// Run one time step (all functors in registration order).
+    /// Run one time step (all functors in registration order). Not
+    /// reentrant: must not be called from inside a functor (asserted).
     void singleStep();
 
     /// Run \p steps time steps.
@@ -25,10 +34,13 @@ public:
     /// Number of completed time steps.
     long long steps() const { return steps_; }
 
-    /// Accumulated seconds per functor (registration order).
+    /// Accumulated per-functor timing (registration order). `seconds` is the
+    /// summed fan-out wall time as seen by the loop thread; `maxSeconds` the
+    /// largest single call (spike detection in the Figure-8 analysis).
     struct Timing {
         std::string name;
         double seconds = 0.0;
+        double maxSeconds = 0.0;
         long long calls = 0;
     };
     const std::vector<Timing>& timings() const { return timings_; }
@@ -38,6 +50,7 @@ private:
     std::vector<std::function<void()>> fns_;
     std::vector<Timing> timings_;
     long long steps_ = 0;
+    bool inStep_ = false;
 };
 
 } // namespace tpf::core

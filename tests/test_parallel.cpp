@@ -1,0 +1,224 @@
+/// Unit tests of the intra-rank parallel execution layer: ThreadPool
+/// semantics (coverage, exception propagation, nested submits, reuse),
+/// the slab partition properties (coverage, disjointness, thread-count
+/// independence), slab-parallel sweeps, and the thread-aware Timeloop
+/// timing contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/slab_sweep.h"
+#include "core/timeloop.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace tpf {
+namespace {
+
+// --- ThreadPool ---
+
+class ThreadPoolSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolSizes, ParallelForRunsEveryIndexExactlyOnce) {
+    util::ThreadPool pool(GetParam());
+    const int n = 237;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.parallelFor(n, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST_P(ThreadPoolSizes, ExceptionsPropagateToTheCaller) {
+    util::ThreadPool pool(GetParam());
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](int i) {
+                             if (i == 13)
+                                 throw std::runtime_error("task failed");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed fan-out and runs the next job normally.
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_P(ThreadPoolSizes, NestedSubmitRunsInlineWithoutDeadlock) {
+    util::ThreadPool pool(GetParam());
+    std::atomic<int> count{0};
+    pool.parallelFor(8, [&](int) {
+        // Nested fan-out on the same (busy) pool must not wait for workers.
+        pool.parallelFor(8, [&](int) { count++; });
+    });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST_P(ThreadPoolSizes, ReusableAcrossManySequentialJobs) {
+    util::ThreadPool pool(GetParam());
+    long long total = 0;
+    for (int job = 0; job < 200; ++job) {
+        std::atomic<long long> sum{0};
+        pool.parallelFor(job % 7 + 1, [&](int i) { sum += i + job; });
+        total += sum.load();
+    }
+    long long expect = 0;
+    for (int job = 0; job < 200; ++job) {
+        const int n = job % 7 + 1;
+        expect += static_cast<long long>(n) * job + n * (n - 1) / 2;
+    }
+    EXPECT_EQ(total, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolSizes, ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadPool, ZeroAndNegativeTaskCountsAreNoOps) {
+    util::ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](int) { ++calls; });
+    pool.parallelFor(-3, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+// --- slab partition properties ---
+
+TEST(SlabPartition, CoversDisjointlyAndBottomUp) {
+    Random rng(4711);
+    for (int trial = 0; trial < 200; ++trial) {
+        CellInterval ci;
+        ci.xMin = static_cast<int>(rng.uniform(-4.0, 4.0));
+        ci.yMin = static_cast<int>(rng.uniform(-4.0, 4.0));
+        ci.zMin = static_cast<int>(rng.uniform(-8.0, 8.0));
+        ci.xMax = ci.xMin + static_cast<int>(rng.uniform(0.0, 12.0));
+        ci.yMax = ci.yMin + static_cast<int>(rng.uniform(0.0, 12.0));
+        ci.zMax = ci.zMin + static_cast<int>(rng.uniform(0.0, 70.0));
+
+        const auto slabs = core::slabPartition(ci);
+        ASSERT_FALSE(slabs.empty());
+
+        long long cells = 0;
+        int expectNextZ = ci.zMin;
+        for (const auto& s : slabs) {
+            // Full x/y extent, bottom-up contiguous z coverage -> the slabs
+            // are pairwise disjoint and cover the interval exactly.
+            EXPECT_EQ(s.xMin, ci.xMin);
+            EXPECT_EQ(s.xMax, ci.xMax);
+            EXPECT_EQ(s.yMin, ci.yMin);
+            EXPECT_EQ(s.yMax, ci.yMax);
+            EXPECT_EQ(s.zMin, expectNextZ);
+            EXPECT_LE(s.zMax, ci.zMax);
+            EXPECT_LE(s.zMax - s.zMin + 1, core::kSlabHeight);
+            expectNextZ = s.zMax + 1;
+            cells += s.numCells();
+        }
+        EXPECT_EQ(expectNextZ, ci.zMax + 1);
+        EXPECT_EQ(cells, ci.numCells());
+        // All but the last slab are full height.
+        for (std::size_t i = 0; i + 1 < slabs.size(); ++i)
+            EXPECT_EQ(slabs[i].zMax - slabs[i].zMin + 1, core::kSlabHeight);
+    }
+}
+
+TEST(SlabPartition, EmptyIntervalYieldsNoSlabs) {
+    EXPECT_TRUE(core::slabPartition(CellInterval{}).empty());
+}
+
+TEST(SlabPartition, IsAFunctionOfTheIntervalAlone) {
+    // The determinism guarantee: the partition never depends on thread
+    // count or any other ambient state — repeated calls are identical.
+    const CellInterval ci{0, 0, 0, 31, 31, 47};
+    const auto a = core::slabPartition(ci);
+    const auto b = core::slabPartition(ci);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(static_cast<int>(a.size()),
+              (47 + core::kSlabHeight) / core::kSlabHeight);
+}
+
+class SlabSweepThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlabSweepThreads, ParallelForSlabsVisitsEveryCellOnce) {
+    const CellInterval ci{0, 0, 0, 7, 5, 37};
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(ci.numCells()));
+    for (auto& h : hits) h.store(0);
+    const auto cellSlot = [&](int x, int y, int z) {
+        return static_cast<std::size_t>((z * 6 + y) * 8 + x);
+    };
+    core::parallelForSlabs(ci, GetParam(), [&](const CellInterval& slab) {
+        forEachCell(slab, [&](int x, int y, int z) { hits[cellSlot(x, y, z)]++; });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SlabSweepThreads, ::testing::Values(1, 3, 4));
+
+TEST(SlabSweep, PersistentPoolOverloadMatchesTransient) {
+    util::ThreadPool pool(4);
+    const CellInterval ci{0, 0, 0, 3, 3, 19};
+    std::atomic<long long> cells{0};
+    core::parallelForSlabs(&pool, ci, [&](const CellInterval& slab) {
+        cells += slab.numCells();
+    });
+    EXPECT_EQ(cells.load(), ci.numCells());
+}
+
+// --- Timeloop thread-aware timing ---
+
+TEST(Timeloop, ThrowingFunctorStillRecordsItsTiming) {
+    core::Timeloop loop;
+    util::ThreadPool pool(4);
+    int okCalls = 0;
+    loop.add("ok", [&] { ++okCalls; });
+    loop.add("fan-out-throws", [&] {
+        pool.parallelFor(8, [](int i) {
+            if (i == 3) throw std::runtime_error("worker failure");
+        });
+    });
+
+    EXPECT_THROW(loop.singleStep(), std::runtime_error);
+
+    // Both functors are accounted exactly once even though the second threw
+    // (the exception came out of a pool fan-out): calls stay in sync and a
+    // wall time was recorded for the failed call.
+    const auto& t = loop.timings();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].calls, 1);
+    EXPECT_EQ(t[1].calls, 1);
+    EXPECT_GE(t[1].seconds, 0.0);
+    EXPECT_GE(t[1].maxSeconds, 0.0);
+    EXPECT_EQ(okCalls, 1);
+    EXPECT_EQ(loop.steps(), 0) << "a failed step must not count as completed";
+}
+
+TEST(Timeloop, FanOutIsAccountedOnceNotPerThread) {
+    // A functor that sleeps inside an n-way fan-out must be accounted by the
+    // wall time of the fan-out (~d), not the per-thread sum (~n*d).
+    if (util::ThreadPool::hardwareThreads() < 2)
+        GTEST_SKIP() << "needs at least two cores to distinguish wall from sum";
+    core::Timeloop loop;
+    util::ThreadPool pool(4);
+    const double d = 0.02;
+    loop.add("sleepy-fan-out", [&] {
+        pool.parallelFor(4, [&](int) {
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration<double>(d);
+            while (std::chrono::steady_clock::now() < until) {}
+        });
+    });
+    loop.singleStep();
+    const auto& t = loop.timings();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_GE(t[0].seconds, d * 0.5);
+    EXPECT_LT(t[0].seconds, 4 * d) << "per-thread sums would be >= 4d";
+    EXPECT_EQ(t[0].maxSeconds, t[0].seconds);
+}
+
+} // namespace
+} // namespace tpf

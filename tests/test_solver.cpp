@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "core/solver.h"
 
@@ -54,6 +55,29 @@ struct Snapshot {
             m = std::max(m, std::abs(phi[i] - o.phi[i]));
         for (std::size_t i = 0; i < mu.size(); ++i)
             m = std::max(m, std::abs(mu[i] - o.mu[i]));
+        return m;
+    }
+
+    /// Byte-level equality (stricter than maxDiff == 0: distinguishes the
+    /// sign of zero, i.e. exactly what a checkpoint file would contain).
+    bool bitwiseEqual(const Snapshot& o) const {
+        return phi.size() == o.phi.size() && mu.size() == o.mu.size() &&
+               std::memcmp(phi.data(), o.phi.data(),
+                           phi.size() * sizeof(double)) == 0 &&
+               std::memcmp(mu.data(), o.mu.data(),
+                           mu.size() * sizeof(double)) == 0;
+    }
+
+    /// Merge per-rank snapshots: each rank left untouched cells at the -1
+    /// sentinel, so the union reconstructs the global fields.
+    static Snapshot merge(const std::vector<Snapshot>& parts) {
+        Snapshot m = parts.front();
+        for (std::size_t r = 1; r < parts.size(); ++r) {
+            for (std::size_t i = 0; i < m.phi.size(); ++i)
+                if (parts[r].phi[i] >= 0.0) m.phi[i] = parts[r].phi[i];
+            for (std::size_t i = 0; i < m.mu.size(); ++i)
+                if (parts[r].mu[i] != -1.0) m.mu[i] = parts[r].mu[i];
+        }
         return m;
     }
 };
@@ -151,17 +175,7 @@ TEST_P(SolverRankCountTest, MultiRankMatchesSerialBitwise) {
         parts[static_cast<std::size_t>(comm.rank())] = Snapshot::take(s);
     });
 
-    // Merge the per-rank snapshots (each initialized untouched cells to -1).
-    Snapshot merged = parts[0];
-    for (int r = 1; r < nranks; ++r) {
-        for (std::size_t i = 0; i < merged.phi.size(); ++i)
-            if (parts[static_cast<std::size_t>(r)].phi[i] >= 0.0)
-                merged.phi[i] = parts[static_cast<std::size_t>(r)].phi[i];
-        for (std::size_t i = 0; i < merged.mu.size(); ++i)
-            if (parts[static_cast<std::size_t>(r)].mu[i] != -1.0)
-                merged.mu[i] = parts[static_cast<std::size_t>(r)].mu[i];
-    }
-    EXPECT_EQ(serial.maxDiff(merged), 0.0)
+    EXPECT_EQ(serial.maxDiff(Snapshot::merge(parts)), 0.0)
         << nranks << "-rank run must be bitwise identical to serial";
 }
 
@@ -182,6 +196,79 @@ TEST(Solver, MultiBlockPerRankMatchesSerial) {
     s.initialize();
     s.run(20);
     EXPECT_EQ(serial.maxDiff(Snapshot::take(s)), 0.0);
+}
+
+class SolverThreadCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverThreadCountTest, ThreadedRunIsBitwiseIdenticalToSerial) {
+    // The slab partition is a function of the sweep interval alone (see
+    // core/slab_sweep.h), so any thread count must reproduce the threads=1
+    // fields down to the last bit — this is what makes checkpoints from
+    // hybrid runs reproducible.
+    auto cfg = smallConfig();
+    cfg.threads = 1;
+    Solver serial(cfg);
+    serial.initialize();
+    serial.run(30);
+
+    cfg.threads = GetParam();
+    Solver threaded(cfg);
+    threaded.initialize();
+    threaded.run(30);
+
+    EXPECT_TRUE(
+        Snapshot::take(serial).bitwiseEqual(Snapshot::take(threaded)))
+        << "threads=" << GetParam() << " diverged from the serial sweep";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SolverThreadCountTest,
+                         ::testing::Values(2, 4, 7));
+
+TEST(Solver, HybridRanksTimesThreadsMatchesSerial) {
+    // 2 ranks x 2 threads: the hybrid mode composes the vmpi z-split with
+    // the intra-rank slab fan-out; values must match the serial run exactly
+    // (ghost exchange only copies, slabs only redistribute work).
+    auto cfg = smallConfig();
+    Snapshot serial;
+    {
+        Solver s(cfg);
+        s.initialize();
+        s.run(30);
+        serial = Snapshot::take(s);
+    }
+    cfg.blockSize = {32, 32, 24};
+    cfg.threads = 2;
+    std::vector<Snapshot> parts(2);
+    vmpi::runParallel(2, [&](vmpi::Comm& comm) {
+        Solver s(cfg, &comm);
+        s.initialize();
+        s.run(30);
+        parts[static_cast<std::size_t>(comm.rank())] = Snapshot::take(s);
+    });
+    EXPECT_EQ(serial.maxDiff(Snapshot::merge(parts)), 0.0);
+}
+
+TEST(Solver, ThreadedMovingWindowAndOverlapMatchSerial) {
+    // Window shifts and the mu-overlap schedule both fan out to the pool;
+    // the combination must still be thread-count invariant.
+    auto cfg = smallConfig();
+    cfg.window.enabled = true;
+    cfg.window.triggerFraction = 0.18;
+    cfg.window.checkEvery = 5;
+    cfg.overlapMu = true;
+
+    cfg.threads = 1;
+    Solver serial(cfg);
+    serial.initialize();
+    serial.run(120);
+
+    cfg.threads = 4;
+    Solver threaded(cfg);
+    threaded.initialize();
+    threaded.run(120);
+
+    EXPECT_TRUE(Snapshot::take(serial).bitwiseEqual(Snapshot::take(threaded)));
+    EXPECT_EQ(serial.windowOffsetCells(), threaded.windowOffsetCells());
 }
 
 TEST(Solver, MovingWindowTracksTheFront) {
