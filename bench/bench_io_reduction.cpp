@@ -34,7 +34,8 @@ int main() {
     const double cells = static_cast<double>(cfg.globalCells.x) *
                          cfg.globalCells.y * cfg.globalCells.z;
     const double rawBytes = cells * (core::N + core::KC) * sizeof(double);
-    const double chkBytes = static_cast<double>(io::checkpointBytes(s));
+    const double chkBytes = static_cast<double>(
+        io::checkpointBytes(s, io::CheckpointPrecision::Float32));
 
     std::printf("state: %d x %d x %d cells\n", cfg.globalCells.x,
                 cfg.globalCells.y, cfg.globalCells.z);

@@ -33,6 +33,7 @@ using namespace tpf;
 struct RunOptions {
     std::string scenario;
     std::string outdir;
+    std::string restart; ///< checkpoint directory to resume from ("" = fresh)
     int steps = 0;
     int ranks = 1;
     int reportEvery = 0;
@@ -40,7 +41,8 @@ struct RunOptions {
     int checkpointEvery = 0;
 };
 
-void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver, int step) {
+void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver,
+                      long long step) {
     // One file per root-rank block. Sub-domain files carry the block origin
     // in their name so a partial volume is never mistaken for the full
     // domain (remote ranks' blocks are not gathered).
@@ -49,10 +51,10 @@ void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver, int step) {
     for (const auto& blk : solver.localBlocks()) {
         char name[96];
         if (wholeDomain)
-            std::snprintf(name, sizeof name, "phi_step%06d.vtk", step);
+            std::snprintf(name, sizeof name, "phi_step%06lld.vtk", step);
         else
             std::snprintf(name, sizeof name,
-                          "phi_step%06d_block_x%d_y%d_z%d.vtk", step,
+                          "phi_step%06lld_block_x%d_y%d_z%d.vtk", step,
                           blk->origin.x, blk->origin.y, blk->origin.z);
         const std::string path = opt.outdir + "/" + name;
         io::writeVtkField(path, blk->phiSrc, "phi");
@@ -61,10 +63,14 @@ void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver, int step) {
     }
 }
 
-void writeCheckpoint(const RunOptions& opt, core::Solver& solver, int step,
+void writeCheckpoint(const RunOptions& opt, core::Solver& solver,
                      bool isRoot) {
+    // Named by the *global* step count, so a run restarted at step N writes
+    // checkpoint_step<N+k> — the same name an uninterrupted run would use.
+    // That is what lets the restart-equivalence harness diff the two.
     char name[64];
-    std::snprintf(name, sizeof name, "checkpoint_step%06d", step);
+    std::snprintf(name, sizeof name, "checkpoint_step%06lld",
+                  solver.stepsDone());
     const std::string dir = opt.outdir + "/" + name;
     io::saveCheckpoint(dir, solver);
     if (isRoot) std::printf("wrote %s/\n", dir.c_str());
@@ -89,7 +95,16 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     const bool isRoot = !comm || comm->isRoot();
     core::Solver solver(cfg, comm);
 
-    if (opt.scenario == "solidify") {
+    if (!opt.restart.empty()) {
+        // Resume from a checkpoint: fields, clocks, window offset and the
+        // step counter are restored; no scenario initialization runs.
+        io::loadCheckpoint(opt.restart, solver);
+        if (isRoot)
+            std::printf("restarted from %s at step %lld (t=%.6g, window "
+                        "offset %g)\n",
+                        opt.restart.c_str(), solver.stepsDone(), solver.time(),
+                        solver.windowOffsetCells());
+    } else if (opt.scenario == "solidify") {
         solver.initialize(); // Voronoi-seeded melt
     } else {
         const core::Scenario sc = opt.scenario == "liquid"
@@ -105,20 +120,29 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     report(solver, isRoot); // collective: all ranks participate
     const double t0 = perf::now();
 
+    // Output cadences are keyed off the *global* step count so a restarted
+    // run writes snapshots/checkpoints at the same steps (and names) an
+    // uninterrupted run would — the restart-equivalence harness depends on
+    // it. `done` counts only this invocation's steps; the report chunking
+    // stays local (it describes this run's progress).
+    const long long startStep = solver.stepsDone();
+    auto nextBoundary = [startStep](int done, int every) {
+        const long long g = startStep + done;
+        return static_cast<int>((g / every + 1) * every - startStep);
+    };
     const int chunk = std::max(1, opt.reportEvery > 0
                                       ? opt.reportEvery
                                       : std::max(1, opt.steps / 8));
-    int lastReport = 0, lastVtk = -1;
+    int lastReport = 0;
+    long long lastVtkStep = -1;
     for (int done = 0; done < opt.steps;) {
         // Stop at whichever boundary comes first: the report chunk or an
         // output cadence.
         int next = std::min(opt.steps, lastReport + chunk);
         if (opt.vtkEvery > 0)
-            next = std::min(
-                next, (done / opt.vtkEvery + 1) * opt.vtkEvery);
+            next = std::min(next, nextBoundary(done, opt.vtkEvery));
         if (opt.checkpointEvery > 0)
-            next = std::min(
-                next, (done / opt.checkpointEvery + 1) * opt.checkpointEvery);
+            next = std::min(next, nextBoundary(done, opt.checkpointEvery));
 
         solver.run(next - done);
         done = next;
@@ -127,12 +151,13 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
             report(solver, isRoot);
             lastReport = done;
         }
-        if (opt.vtkEvery > 0 && done % opt.vtkEvery == 0) {
-            if (isRoot) writeVtkSnapshot(opt, solver, done);
-            lastVtk = done;
+        if (opt.vtkEvery > 0 && solver.stepsDone() % opt.vtkEvery == 0) {
+            if (isRoot) writeVtkSnapshot(opt, solver, solver.stepsDone());
+            lastVtkStep = solver.stepsDone();
         }
-        if (opt.checkpointEvery > 0 && done % opt.checkpointEvery == 0)
-            writeCheckpoint(opt, solver, done, isRoot);
+        if (opt.checkpointEvery > 0 &&
+            solver.stepsDone() % opt.checkpointEvery == 0)
+            writeCheckpoint(opt, solver, isRoot);
     }
 
     const double wall = perf::now() - t0;
@@ -141,7 +166,8 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     // Final artifacts: a VTK volume of the (root-rank) phi field plus the
     // run summary, so every invocation leaves output behind (skipped when
     // the cadence already wrote this step).
-    if (lastVtk != opt.steps) writeVtkSnapshot(opt, solver, opt.steps);
+    if (lastVtkStep != solver.stepsDone())
+        writeVtkSnapshot(opt, solver, solver.stepsDone());
 
     const long long cells = static_cast<long long>(cfg.globalCells.x) *
                             cfg.globalCells.y * cfg.globalCells.z;
@@ -194,6 +220,11 @@ int main(int argc, char** argv) {
         cli.getInt("vtk-every", 0, "steps between VTK snapshots (0: off)");
     opt.checkpointEvery = cli.getInt("checkpoint-every", 0,
                                      "steps between checkpoints (0: off)");
+    opt.restart = cli.getString(
+        "restart", "",
+        "resume from this checkpoint directory (skips scenario init; pass "
+        "the same --size/--ranks/--block and physics flags as the original "
+        "run; --steps counts the additional steps)");
     opt.outdir = cli.getString("out", "tpf_output", "output directory");
     const std::string overlap = cli.getString(
         "overlap", "mu", "communication hiding: none, mu, phi, both");
@@ -277,6 +308,54 @@ int main(int argc, char** argv) {
     }
     cfg.blockSize = block;
 
+    if (!opt.restart.empty()) {
+        // Fail fast, before spawning ranks, when the checkpoint does not
+        // match the requested geometry (loadCheckpoint re-validates
+        // everything per rank, but this produces one clear message).
+        try {
+            const io::CheckpointMeta meta =
+                io::readCheckpointMeta(opt.restart);
+            const Int3 effBlock = blockGiven || opt.ranks > 1 ? block : size;
+            if (!(meta.globalCells == size)) {
+                std::fprintf(stderr,
+                             "checkpoint %s holds a %dx%dx%d domain; pass "
+                             "--size %d,%d,%d\n",
+                             opt.restart.c_str(), meta.globalCells.x,
+                             meta.globalCells.y, meta.globalCells.z,
+                             meta.globalCells.x, meta.globalCells.y,
+                             meta.globalCells.z);
+                return 2;
+            }
+            if (meta.numRanks != opt.ranks) {
+                std::fprintf(stderr,
+                             "checkpoint %s was written by %d rank(s); pass "
+                             "--ranks %d\n",
+                             opt.restart.c_str(), meta.numRanks,
+                             meta.numRanks);
+                return 2;
+            }
+            if (!(meta.blockCells == effBlock)) {
+                std::fprintf(stderr,
+                             "checkpoint %s uses %dx%dx%d blocks; pass "
+                             "--block %d,%d,%d\n",
+                             opt.restart.c_str(), meta.blockCells.x,
+                             meta.blockCells.y, meta.blockCells.z,
+                             meta.blockCells.x, meta.blockCells.y,
+                             meta.blockCells.z);
+                return 2;
+            }
+            if (meta.windowOffset > 0.0 && !window)
+                std::fprintf(stderr,
+                             "warning: checkpoint has a moving-window offset "
+                             "of %g cells but --window is off; the window "
+                             "will not keep moving\n",
+                             meta.windowOffset);
+        } catch (const io::CheckpointError& e) {
+            std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+            return 1;
+        }
+    }
+
     std::filesystem::create_directories(opt.outdir);
 
     std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, "
@@ -286,11 +365,19 @@ int main(int argc, char** argv) {
                 opt.ranks, threads, gradient, velocity, overlap.c_str(),
                 window ? "  moving-window" : "");
 
-    if (opt.ranks == 1) {
-        runRank(opt, cfg, nullptr);
-    } else {
-        vmpi::runParallel(opt.ranks,
-                          [&](vmpi::Comm& comm) { runRank(opt, cfg, &comm); });
+    try {
+        if (opt.ranks == 1) {
+            runRank(opt, cfg, nullptr);
+        } else {
+            vmpi::runParallel(opt.ranks, [&](vmpi::Comm& comm) {
+                runRank(opt, cfg, &comm);
+            });
+        }
+    } catch (const io::CheckpointError& e) {
+        // Raised collectively on every rank (no hung collectives) and
+        // rethrown once on this thread by runParallel.
+        std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+        return 1;
     }
     return 0;
 }

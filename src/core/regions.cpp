@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fastmath.h"
 #include "util/simplex.h"
 
 namespace tpf::core {
@@ -55,7 +56,7 @@ double sstep(double v, double c, double w) {
     const double s = (v - c) / w; // -0.5 .. 0.5 across the interface
     if (s <= -0.5) return 0.0;
     if (s >= 0.5) return 1.0;
-    return 0.5 * (1.0 + std::sin(M_PI * s));
+    return 0.5 * (1.0 + sinpiCompact(s));
 }
 
 /// Solid phase index of the lamellar pattern at x (stripes of phases 0,1,2).

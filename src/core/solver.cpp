@@ -195,9 +195,10 @@ void Solver::initialize() {
     initialized_ = true;
 }
 
-void Solver::restore(double time, double windowOffset) {
+void Solver::restore(double time, double windowOffset, long long steps) {
     time_ = time;
     windowOffset_ = windowOffset;
+    loop_.setSteps(steps);
     communicateAll();
     initialized_ = true;
 }

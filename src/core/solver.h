@@ -99,8 +99,10 @@ public:
     vmpi::Comm* comm() { return comm_; }
 
     /// Restore state (used by checkpointing): fields are assumed loaded;
-    /// re-synchronizes ghosts and sets clocks.
-    void restore(double time, double windowOffset);
+    /// re-synchronizes ghosts and sets the clocks *and* the timeloop step
+    /// counter (step-keyed cadences like the window check must resume, not
+    /// restart, for a restarted run to replay an uninterrupted one exactly).
+    void restore(double time, double windowOffset, long long steps = 0);
 
     /// Check the moving-window trigger and shift if needed (also called
     /// automatically every window.checkEvery steps when enabled).

@@ -34,6 +34,12 @@ public:
     /// Number of completed time steps.
     long long steps() const { return steps_; }
 
+    /// Set the completed-step counter (checkpoint restore). Functor cadences
+    /// such as the moving-window check key off steps(), so a restarted run
+    /// must resume the counter — not restart it at zero — to replay the same
+    /// schedule as an uninterrupted run.
+    void setSteps(long long s) { steps_ = s; }
+
     /// Accumulated per-functor timing (registration order). `seconds` is the
     /// summed fan-out wall time as seen by the loop thread; `maxSeconds` the
     /// largest single call (spike detection in the Figure-8 analysis).

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/fastmath.h"
 #include "util/random.h"
 #include "util/simplex.h"
 
@@ -85,7 +86,7 @@ void initVoronoi(SimBlock& b, const BlockForest& bf, const VoronoiConfig& cfg,
         const double s = (gz - static_cast<double>(cfg.fillHeight)) / w;
         if (s <= -0.5) return 0.0;
         if (s >= 0.5) return 1.0;
-        return 0.5 * (1.0 + std::sin(M_PI * s));
+        return 0.5 * (1.0 + sinpiCompact(s));
     };
 
     forEachCell(phi.withGhosts(), [&](int x, int y, int z) {
@@ -122,7 +123,7 @@ void initVoronoi(SimBlock& b, const BlockForest& bf, const VoronoiConfig& cfg,
             }
             const double edgeDist = 0.5 * (d2 - d1); // >= 0, 0 on the edge
             const double t = std::min(edgeDist / w, 0.5);
-            const double w1 = 0.5 * (1.0 + std::sin(M_PI * t));
+            const double w1 = 0.5 * (1.0 + sinpiCompact(t));
             p[phase1] += (1.0 - liq) * w1;
             p[phase2] += (1.0 - liq) * (1.0 - w1);
         }

@@ -1,0 +1,33 @@
+#include "util/crc32.h"
+
+namespace tpf::util {
+
+namespace {
+
+/// 256-entry lookup table for the reflected polynomial 0xEDB88320, built once
+/// on first use (byte-at-a-time variant; the checkpoint payloads are far from
+/// I/O-bound on the checksum).
+struct Crc32Table {
+    std::uint32_t t[256];
+    Crc32Table() {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+    static const Crc32Table table;
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < bytes; ++i)
+        c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace tpf::util

@@ -2,6 +2,41 @@
 
 namespace tpf {
 
+namespace {
+
+/// Taylor coefficients of sin(pi*s) = s * sum_k c[k] * s^(2k), built once
+/// from pure double multiplies/divides: c[k] = (-1)^k pi^(2k+1) / (2k+1)!.
+/// Truncated after s^23; the omitted tail is < 2e-18 at |s| = 0.5.
+struct SinpiCoeffs {
+    static constexpr int K = 12;
+    double c[K];
+    SinpiCoeffs() {
+        constexpr double pi = 3.14159265358979323846264338327950288;
+        double num = pi;    // pi^(2k+1)
+        double fact = 1.0;  // (2k+1)!
+        double sign = 1.0;
+        for (int k = 0; k < K; ++k) {
+            c[k] = sign * (num / fact);
+            num *= pi * pi;
+            fact *= static_cast<double>(2 * k + 2) * static_cast<double>(2 * k + 3);
+            sign = -sign;
+        }
+    }
+};
+
+} // namespace
+
+double sinpiCompact(double s) {
+    static const SinpiCoeffs sc;
+    const double u = s * s;
+    double p = sc.c[SinpiCoeffs::K - 1];
+    for (int k = SinpiCoeffs::K - 2; k >= 0; --k) p = p * u + sc.c[k];
+    const double r = s * p;
+    // The profile callers map this to a phase fraction in [0, 1]; keep the
+    // polynomial's half-ulp overshoot at s = +-0.5 from leaving [-1, 1].
+    return r > 1.0 ? 1.0 : (r < -1.0 ? -1.0 : r);
+}
+
 ReciprocalTable::ReciprocalTable(int maxDenominator) {
     TPF_ASSERT(maxDenominator >= 1, "ReciprocalTable needs at least one entry");
     inv_.resize(static_cast<std::size_t>(maxDenominator) + 1, 0.0);

@@ -39,6 +39,19 @@ inline double fastInvSqrt(double x) {
     return y;
 }
 
+/// sin(pi * s) for |s| <= 0.5, evaluated with a fixed Taylor polynomial in
+/// pure double arithmetic (no libm call).
+///
+/// The compact sinus interface profiles of the Voronoi initialization and the
+/// benchmark scenario fills feed directly into committed golden-run reference
+/// checkpoints, which are compared bitwise across machines. libm's sin() is
+/// only guaranteed to ~1 ulp and its rounding has changed between glibc
+/// versions, so the profile must not depend on it: this polynomial uses only
+/// IEEE-754 add/mul/div, which round identically everywhere. Absolute error
+/// vs the exactly rounded sin is < 1e-15 on [-0.5, 0.5] (asserted by
+/// tests/test_util.cpp), far below the physical accuracy of the profile.
+double sinpiCompact(double s);
+
 /// Reciprocal table: precomputes 1/v for a fixed set of denominators so the
 /// hot loop replaces a division by an indexed multiply.
 ///

@@ -1,0 +1,172 @@
+/// Golden-run regression harness: for each scenario (solidify / interface /
+/// liquid / solid) a small reference checkpoint is committed under
+/// tests/golden/. This suite re-runs the pinned configuration and diffs the
+/// fresh checkpoint against the reference field by field — any kernel,
+/// communication, initialization or windowing change that perturbs the
+/// numerics fails loudly with the first divergent field and cell.
+///
+/// The references are bitwise-reproducible across machines and build types
+/// because every operation on the trajectory path is pure IEEE-754
+/// arithmetic: the SIMD backends use single-rounding fmadd everywhere
+/// (docs/KERNELS.md), -ffp-contract=off pins the scalar code, and the
+/// initialization profiles use the polynomial tpf::sinpiCompact instead of
+/// libm's sin (whose rounding differs between libm versions).
+///
+/// To regenerate after an *intentional* numerics change:
+///
+///     TPF_REGEN_GOLDENS=1 ./tests/test_golden
+///
+/// then commit the updated tests/golden/ directories along with the change
+/// that justifies them.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/regions.h"
+#include "core/solver.h"
+#include "io/checkpoint.h"
+
+#ifndef TPF_GOLDEN_DIR
+#error "TPF_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace tpf {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The pinned golden configuration. Small enough to keep the committed
+/// references at ~100 KiB per scenario, big enough that every kernel region
+/// (bulk liquid, bulk solid, interface) and the z-boundary handling are
+/// exercised. Serial, one thread: the rank/thread-independence of the fields
+/// is separately guaranteed by test_solver and test_restart.
+core::SolverConfig goldenConfig() {
+    core::SolverConfig cfg;
+    cfg.globalCells = {12, 12, 16};
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.velocity = 0.02;
+    cfg.model.temp.zEut0 = 6.0;
+    cfg.init.fillHeight = 4;
+    return cfg;
+}
+
+constexpr int kGoldenSteps = 12;
+
+/// Run the pinned scenario to its checkpoint state.
+void runScenario(const std::string& name, core::Solver& solver) {
+    if (name == "solidify") {
+        solver.initialize(); // Voronoi-seeded melt, fixed RNG seed
+    } else {
+        const core::Scenario sc = name == "liquid"  ? core::Scenario::Liquid
+                                  : name == "solid" ? core::Scenario::Solid
+                                                    : core::Scenario::Interface;
+        for (auto& b : solver.localBlocks())
+            core::fillScenario(*b, sc, solver.system(),
+                               solver.config().model.eps);
+        solver.restore(/*time=*/0.0, /*windowOffset=*/0.0);
+    }
+    solver.run(kGoldenSteps);
+}
+
+void checkScenario(const std::string& name) {
+    const fs::path goldenDir = fs::path(TPF_GOLDEN_DIR) / name;
+
+    core::Solver solver(goldenConfig());
+    runScenario(name, solver);
+
+    if (std::getenv("TPF_REGEN_GOLDENS") != nullptr) {
+        io::saveCheckpoint(goldenDir.string(), solver);
+        GTEST_SKIP() << "regenerated golden reference " << goldenDir;
+    }
+
+    ASSERT_TRUE(fs::exists(goldenDir / "rank_0.tpfchk"))
+        << "missing committed golden reference " << goldenDir
+        << " — run with TPF_REGEN_GOLDENS=1 and commit tests/golden/";
+
+    const fs::path freshDir =
+        fs::temp_directory_path() / ("tpf_golden_" + name);
+    fs::remove_all(freshDir);
+    io::saveCheckpoint(freshDir.string(), solver);
+
+    const io::CheckpointDiff d =
+        io::compareCheckpoints(goldenDir.string(), freshDir.string());
+    EXPECT_TRUE(d.identical)
+        << "scenario '" << name
+        << "' diverged from the committed golden reference.\n  "
+        << d.message()
+        << "\n  If this change to the numerics is intentional, regenerate "
+           "with TPF_REGEN_GOLDENS=1 ./tests/test_golden and commit "
+           "tests/golden/.";
+    fs::remove_all(freshDir);
+}
+
+TEST(GoldenRun, Solidify) { checkScenario("solidify"); }
+TEST(GoldenRun, Interface) { checkScenario("interface"); }
+TEST(GoldenRun, Liquid) { checkScenario("liquid"); }
+TEST(GoldenRun, Solid) { checkScenario("solid"); }
+
+/// Corrupting a committed reference must be reported as corruption of that
+/// field (CRC), not as a plausible numeric difference.
+TEST(GoldenRun, CorruptedReferenceIsCalledOut) {
+    const fs::path goldenDir = fs::path(TPF_GOLDEN_DIR) / "liquid";
+    if (!fs::exists(goldenDir / "rank_0.tpfchk"))
+        GTEST_SKIP() << "goldens not generated yet";
+
+    const fs::path tmp = fs::temp_directory_path() / "tpf_golden_corrupt";
+    fs::remove_all(tmp);
+    fs::create_directories(tmp);
+    fs::copy(goldenDir / "rank_0.tpfchk", tmp / "rank_0.tpfchk");
+    {
+        std::fstream f(tmp / "rank_0.tpfchk",
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(-23, std::ios::end); // inside the mu payload
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5A); // guaranteed different
+        f.seekp(-23, std::ios::end);
+        f.write(&byte, 1);
+    }
+
+    const io::CheckpointDiff d =
+        io::compareCheckpoints(tmp.string(), goldenDir.string());
+    EXPECT_FALSE(d.identical);
+    EXPECT_NE(d.structural.find("checksum mismatch"), std::string::npos)
+        << d.message();
+    EXPECT_NE(d.structural.find("'mu'"), std::string::npos) << d.message();
+    fs::remove_all(tmp);
+}
+
+/// A genuinely divergent run must be pointed at precisely: field, component
+/// and global cell of the first differing value.
+TEST(GoldenRun, DivergenceIsReportedWithFieldAndCell) {
+    core::Solver solver(goldenConfig());
+    runScenario("interface", solver);
+
+    const fs::path a = fs::temp_directory_path() / "tpf_golden_diff_a";
+    const fs::path b = fs::temp_directory_path() / "tpf_golden_diff_b";
+    fs::remove_all(a);
+    fs::remove_all(b);
+    io::saveCheckpoint(a.string(), solver);
+    solver.localBlocks().front()->muSrc(5, 6, 7, 1) += 1e-12;
+    io::saveCheckpoint(b.string(), solver);
+
+    const io::CheckpointDiff d = io::compareCheckpoints(a.string(), b.string());
+    EXPECT_FALSE(d.identical);
+    EXPECT_TRUE(d.structural.empty()) << d.structural;
+    EXPECT_EQ(d.field, "mu");
+    EXPECT_EQ(d.component, 1);
+    EXPECT_EQ(d.cell, (Int3{5, 6, 7}));
+    EXPECT_EQ(d.differingValues, 1);
+    EXPECT_NE(d.message().find("(5, 6, 7)"), std::string::npos)
+        << d.message();
+    fs::remove_all(a);
+    fs::remove_all(b);
+}
+
+} // namespace
+} // namespace tpf

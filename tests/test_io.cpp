@@ -1,5 +1,6 @@
-/// Tests for checkpointing (single-precision, per-rank files, restore
-/// continuation) and the file writers.
+/// Tests for checkpointing (format v2: versioned header, per-field CRC32,
+/// exact float64 restart, optional float32 mode, atomic publication) and the
+/// file writers.
 
 #include <gtest/gtest.h>
 
@@ -41,7 +42,23 @@ struct TempDir {
     }
 };
 
-TEST(Checkpoint, RoundTripPreservesStateToFloatPrecision) {
+/// Max |difference| over phi and mu interiors of two solvers' first blocks.
+double stateDiff(core::Solver& a, core::Solver& b) {
+    auto& ba = *a.localBlocks().front();
+    auto& bb = *b.localBlocks().front();
+    double maxDiff = 0.0;
+    forEachCell(ba.phiSrc.interior(), [&](int x, int y, int z) {
+        for (int f = 0; f < core::N; ++f)
+            maxDiff = std::max(maxDiff, std::abs(ba.phiSrc(x, y, z, f) -
+                                                 bb.phiSrc(x, y, z, f)));
+        for (int f = 0; f < core::KC; ++f)
+            maxDiff = std::max(maxDiff, std::abs(ba.muSrc(x, y, z, f) -
+                                                 bb.muSrc(x, y, z, f)));
+    });
+    return maxDiff;
+}
+
+TEST(Checkpoint, RoundTripIsExactInFloat64) {
     TempDir dir;
     core::Solver a(testConfig());
     a.initialize();
@@ -54,30 +71,36 @@ TEST(Checkpoint, RoundTripPreservesStateToFloatPrecision) {
 
     EXPECT_EQ(b.time(), a.time());
     EXPECT_EQ(b.windowOffsetCells(), a.windowOffsetCells());
+    EXPECT_EQ(b.stepsDone(), a.stepsDone());
+    // Default precision is float64: the restored state is bitwise identical.
+    EXPECT_EQ(stateDiff(a, b), 0.0);
+}
 
-    auto& ba = *a.localBlocks().front();
-    auto& bb = *b.localBlocks().front();
-    double maxDiff = 0.0;
-    forEachCell(ba.phiSrc.interior(), [&](int x, int y, int z) {
-        for (int f = 0; f < core::N; ++f)
-            maxDiff = std::max(maxDiff, std::abs(ba.phiSrc(x, y, z, f) -
-                                                 bb.phiSrc(x, y, z, f)));
-        for (int f = 0; f < core::KC; ++f)
-            maxDiff = std::max(maxDiff, std::abs(ba.muSrc(x, y, z, f) -
-                                                 bb.muSrc(x, y, z, f)));
-    });
-    // Single-precision storage: values match to float epsilon.
+TEST(Checkpoint, Float32ModeRoundsToFloatPrecision) {
+    TempDir dir;
+    core::Solver a(testConfig());
+    a.initialize();
+    a.run(40);
+    CheckpointOptions opts;
+    opts.precision = CheckpointPrecision::Float32;
+    saveCheckpoint(dir.path.string(), a, opts);
+
+    core::Solver b(testConfig());
+    b.initialize();
+    loadCheckpoint(dir.path.string(), b);
+
+    const double maxDiff = stateDiff(a, b);
+    // Single-precision storage: values match to float epsilon only.
     EXPECT_LT(maxDiff, 1e-6);
     EXPECT_GT(maxDiff, 0.0) << "float rounding should be visible";
 }
 
-TEST(Checkpoint, RestartContinuesTheSimulation) {
+TEST(Checkpoint, RestartContinuesTheSimulationExactly) {
     TempDir dir;
     // Reference: 60 uninterrupted steps.
     core::Solver ref(testConfig());
     ref.initialize();
     ref.run(60);
-    const auto refFr = ref.phaseFractions();
 
     // Interrupted: 30 steps, checkpoint, restore, 30 more.
     core::Solver first(testConfig());
@@ -86,17 +109,14 @@ TEST(Checkpoint, RestartContinuesTheSimulation) {
     saveCheckpoint(dir.path.string(), first);
 
     core::Solver second(testConfig());
-    second.initialize();
     loadCheckpoint(dir.path.string(), second);
     second.run(30);
 
-    EXPECT_NEAR(second.time(), ref.time(), 1e-12);
-    const auto fr = second.phaseFractions();
-    // The float32 rounding at the checkpoint perturbs the state slightly;
-    // integral quantities must still agree closely.
-    for (int a = 0; a < core::N; ++a)
-        EXPECT_NEAR(fr[static_cast<std::size_t>(a)],
-                    refFr[static_cast<std::size_t>(a)], 1e-4);
+    // The float64 checkpoint makes the restarted trajectory bitwise equal to
+    // the uninterrupted one (tests/test_restart.cpp covers ranks x threads).
+    EXPECT_EQ(second.time(), ref.time());
+    EXPECT_EQ(second.stepsDone(), ref.stepsDone());
+    EXPECT_EQ(stateDiff(ref, second), 0.0);
 }
 
 TEST(Checkpoint, MetaReadback) {
@@ -107,8 +127,12 @@ TEST(Checkpoint, MetaReadback) {
     saveCheckpoint(dir.path.string(), s);
 
     const CheckpointMeta meta = readCheckpointMeta(dir.path.string());
+    EXPECT_EQ(meta.formatVersion, kCheckpointFormatVersion);
+    EXPECT_EQ(meta.precisionBytes, 8);
+    EXPECT_EQ(meta.step, 5);
     EXPECT_EQ(meta.time, s.time());
     EXPECT_EQ(meta.globalCells, (Int3{24, 24, 32}));
+    EXPECT_EQ(meta.blockCells, (Int3{24, 24, 32}));
     EXPECT_EQ(meta.numRanks, 1);
 }
 
@@ -116,23 +140,22 @@ TEST(Checkpoint, MultiRankSaveAndLoad) {
     TempDir dir;
     auto cfg = testConfig();
     cfg.blockSize = {24, 24, 8};
-    std::array<double, core::N> savedFr{};
     vmpi::runParallel(4, [&](vmpi::Comm& comm) {
         core::Solver s(cfg, &comm);
         s.initialize();
         s.run(20);
         const auto fr = s.phaseFractions();
-        if (comm.isRoot()) savedFr = fr;
         saveCheckpoint(dir.path.string(), s);
-        comm.barrier();
 
         core::Solver t(cfg, &comm);
         t.initialize();
         loadCheckpoint(dir.path.string(), t);
         const auto fr2 = t.phaseFractions();
+        // Exact restore + deterministic rank-ordered reductions: the
+        // diagnostics agree bitwise, not just to a tolerance.
         for (int a = 0; a < core::N; ++a)
-            EXPECT_NEAR(fr2[static_cast<std::size_t>(a)],
-                        fr[static_cast<std::size_t>(a)], 1e-6);
+            EXPECT_EQ(fr2[static_cast<std::size_t>(a)],
+                      fr[static_cast<std::size_t>(a)]);
     });
     // Four rank files must exist.
     for (int r = 0; r < 4; ++r)
@@ -140,20 +163,167 @@ TEST(Checkpoint, MultiRankSaveAndLoad) {
                                            ".tpfchk")));
 }
 
-TEST(Checkpoint, SizeIsSinglePrecision) {
+TEST(Checkpoint, FileSizeMatchesPrecision) {
+    TempDir dir64, dir32;
+    core::Solver s(testConfig());
+    s.initialize();
+
+    saveCheckpoint(dir64.path.string(), s);
+    EXPECT_EQ(fs::file_size(dir64.path / "rank_0.tpfchk"),
+              checkpointBytes(s));
+
+    CheckpointOptions opts;
+    opts.precision = CheckpointPrecision::Float32;
+    saveCheckpoint(dir32.path.string(), s, opts);
+    const auto actual32 = fs::file_size(dir32.path / "rank_0.tpfchk");
+    EXPECT_EQ(actual32, checkpointBytes(s, CheckpointPrecision::Float32));
+    // 6 floats per cell — half of the 6 doubles of the live state (paper
+    // §3.2's I/O reduction), modulo the fixed headers.
+    const std::size_t cells = 24 * 24 * 32;
+    EXPECT_NEAR(static_cast<double>(actual32),
+                static_cast<double>(cells * 6 * sizeof(float)), 1024.0);
+}
+
+TEST(Checkpoint, CorruptedByteIsDetectedAndNamesTheField) {
+    TempDir dir;
+    core::Solver s(testConfig());
+    s.initialize();
+    s.run(5);
+    saveCheckpoint(dir.path.string(), s);
+
+    // Flip one byte near the end of the rank file: inside the mu payload
+    // (the last field written).
+    const fs::path file = dir.path / "rank_0.tpfchk";
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(-17, std::ios::end);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5A);
+        f.seekp(-17, std::ios::end);
+        f.write(&byte, 1);
+    }
+
+    core::Solver t(testConfig());
+    try {
+        loadCheckpoint(dir.path.string(), t);
+        FAIL() << "corrupted checkpoint must not load";
+    } catch (const CheckpointError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+        EXPECT_NE(what.find("'mu'"), std::string::npos)
+            << "the offending field must be named: " << what;
+    }
+}
+
+TEST(Checkpoint, CorruptedRankCountCannotFakeAnIdenticalDiff) {
+    // The header is not CRC-protected: a zeroed numRanks must be rejected
+    // as corrupt, not shrink compareCheckpoints to an empty (and therefore
+    // "identical") comparison.
     TempDir dir;
     core::Solver s(testConfig());
     s.initialize();
     saveCheckpoint(dir.path.string(), s);
 
-    const auto expected = checkpointBytes(s);
-    const auto actual = fs::file_size(dir.path / "rank_0.tpfchk");
-    EXPECT_EQ(actual, expected);
-    // 6 floats per cell — half of the 6 doubles of the live state.
-    const std::size_t cells = 24 * 24 * 32;
-    EXPECT_NEAR(static_cast<double>(actual),
-                static_cast<double>(cells * 6 * sizeof(float)),
-                1024.0);
+    const fs::path file = dir.path / "rank_0.tpfchk";
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(72); // FileHeader::numRanks
+        const std::int32_t zero = 0;
+        f.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+    }
+
+    const CheckpointDiff d =
+        compareCheckpoints(dir.path.string(), dir.path.string());
+    EXPECT_FALSE(d.identical);
+    EXPECT_NE(d.structural.find("corrupt checkpoint header"),
+              std::string::npos)
+        << d.message();
+}
+
+TEST(Checkpoint, TruncatedFileIsDetected) {
+    TempDir dir;
+    core::Solver s(testConfig());
+    s.initialize();
+    saveCheckpoint(dir.path.string(), s);
+
+    const fs::path file = dir.path / "rank_0.tpfchk";
+    fs::resize_file(file, fs::file_size(file) / 2);
+
+    core::Solver t(testConfig());
+    try {
+        loadCheckpoint(dir.path.string(), t);
+        FAIL() << "truncated checkpoint must not load";
+    } catch (const CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, SaveIsAtomicAndCleansStaleStaging) {
+    TempDir dir;
+    const std::string target = (dir.path / "chk").string();
+
+    // Simulate the debris of a killed save: a stale staging directory.
+    fs::create_directories(target + ".tmp");
+    {
+        std::ofstream junk(target + ".tmp/rank_0.tpfchk");
+        junk << "half-written garbage";
+    }
+
+    core::Solver s(testConfig());
+    s.initialize();
+    s.run(3);
+    saveCheckpoint(target, s);
+
+    // The staging directory was consumed by the rename; the published
+    // checkpoint is complete and loadable.
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+    core::Solver t(testConfig());
+    loadCheckpoint(target, t);
+    EXPECT_EQ(t.stepsDone(), 3);
+
+    // Overwriting an existing checkpoint re-publishes atomically: neither
+    // staging nor the moved-aside previous checkpoint is left behind.
+    s.run(2);
+    saveCheckpoint(target, s);
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+    EXPECT_FALSE(fs::exists(target + ".old"));
+    core::Solver u(testConfig());
+    loadCheckpoint(target, u);
+    EXPECT_EQ(u.stepsDone(), 5);
+}
+
+TEST(Checkpoint, CompareCheckpointsReportsFirstDivergentCell) {
+    TempDir dirA, dirB;
+    core::Solver s(testConfig());
+    s.initialize();
+    s.run(5);
+    saveCheckpoint(dirA.path.string(), s);
+
+    // Perturb exactly one phi value (same clocks, same geometry) and save
+    // again: the diff must point at that field, component and cell.
+    auto& blk = *s.localBlocks().front();
+    blk.phiSrc(3, 7, 11, 2) += 1e-9;
+    saveCheckpoint(dirB.path.string(), s);
+
+    const CheckpointDiff d =
+        compareCheckpoints(dirA.path.string(), dirB.path.string());
+    EXPECT_FALSE(d.identical);
+    EXPECT_TRUE(d.structural.empty()) << d.structural;
+    EXPECT_EQ(d.field, "phi");
+    EXPECT_EQ(d.component, 2);
+    EXPECT_EQ(d.cell, (Int3{3, 7, 11}));
+    EXPECT_EQ(d.differingValues, 1);
+    EXPECT_NE(d.message().find("'phi'"), std::string::npos) << d.message();
+
+    const CheckpointDiff same =
+        compareCheckpoints(dirA.path.string(), dirA.path.string());
+    EXPECT_TRUE(same.identical) << same.message();
 }
 
 // --- writers ---

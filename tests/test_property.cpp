@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "core/solver.h"
 #include "io/checkpoint.h"
@@ -171,6 +173,19 @@ TEST(LongRun, EightHundredStepsStayPhysical) {
 
 // --- checkpoint error paths ------------------------------------------------
 
+/// Message-matching helper: load must throw a CheckpointError whose text
+/// contains \p fragment.
+template <typename Fn>
+void expectCheckpointError(Fn&& fn, const std::string& fragment) {
+    try {
+        fn();
+        FAIL() << "expected CheckpointError containing '" << fragment << "'";
+    } catch (const io::CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(CheckpointErrors, DomainMismatchIsRejected) {
     const std::string dir = "/tmp/tpf_chk_mismatch";
     core::SolverConfig cfg;
@@ -183,7 +198,8 @@ TEST(CheckpointErrors, DomainMismatchIsRejected) {
     cfg.globalCells = {16, 16, 32};
     core::Solver b(cfg);
     b.initialize();
-    EXPECT_DEATH(io::loadCheckpoint(dir, b), "domain size mismatch");
+    expectCheckpointError([&] { io::loadCheckpoint(dir, b); },
+                          "domain size mismatch");
     std::filesystem::remove_all(dir);
 }
 
@@ -192,8 +208,71 @@ TEST(CheckpointErrors, MissingFileIsRejected) {
     cfg.globalCells = {16, 16, 24};
     core::Solver s(cfg);
     s.initialize();
-    EXPECT_DEATH(io::loadCheckpoint("/tmp/tpf_does_not_exist_xyz", s),
-                 "cannot open");
+    expectCheckpointError(
+        [&] { io::loadCheckpoint("/tmp/tpf_does_not_exist_xyz", s); },
+        "cannot open");
+}
+
+// --- checkpoint round-trip property ----------------------------------------
+
+/// Property (exact-restart pipeline): save -> load -> save is a bitwise
+/// fixed point of the phi and mu fields, for every ranks x threads
+/// combination. The second save must reproduce the first file byte for byte
+/// — headers, CRCs and payloads.
+TEST(CheckpointProperty, SaveLoadRoundTripIsBitwiseIdentity) {
+    namespace fs = std::filesystem;
+    auto readAll = [](const fs::path& p) {
+        std::ifstream in(p, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    };
+
+    for (const int ranks : {1, 2}) {
+        for (const int threads : {1, 4}) {
+            const std::string tag = "/tmp/tpf_prop_rt_r" +
+                                    std::to_string(ranks) + "_t" +
+                                    std::to_string(threads);
+            const std::string dirA = tag + "_a", dirB = tag + "_b";
+
+            core::SolverConfig cfg;
+            cfg.globalCells = {16, 16, 24};
+            cfg.init.fillHeight = 8;
+            cfg.model.temp.zEut0 = 10.0;
+            cfg.threads = threads;
+            if (ranks > 1) cfg.blockSize = {16, 16, 24 / ranks};
+
+            auto body = [&](vmpi::Comm* comm) {
+                core::Solver a(cfg, comm);
+                a.initialize();
+                a.run(20);
+                io::saveCheckpoint(dirA, a);
+
+                core::Solver b(cfg, comm);
+                io::loadCheckpoint(dirA, b);
+                io::saveCheckpoint(dirB, b);
+            };
+            if (ranks == 1)
+                body(nullptr);
+            else
+                vmpi::runParallel(ranks,
+                                  [&](vmpi::Comm& c) { body(&c); });
+
+            for (int r = 0; r < ranks; ++r) {
+                const std::string name = "rank_" + std::to_string(r) +
+                                         ".tpfchk";
+                EXPECT_EQ(readAll(dirA + "/" + name),
+                          readAll(dirB + "/" + name))
+                    << "ranks=" << ranks << " threads=" << threads
+                    << " rank file " << name;
+            }
+            const io::CheckpointDiff d = io::compareCheckpoints(dirA, dirB);
+            EXPECT_TRUE(d.identical)
+                << "ranks=" << ranks << " threads=" << threads << ": "
+                << d.message();
+            fs::remove_all(dirA);
+            fs::remove_all(dirB);
+        }
+    }
 }
 
 // --- exchange fuzz: random decompositions stay bitwise-consistent ----------

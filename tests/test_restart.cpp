@@ -1,0 +1,255 @@
+/// The exact-restart contract (the acceptance test of the restart pipeline):
+/// running 2N steps produces a checkpoint bitwise identical to running N
+/// steps, restarting from the checkpoint, and running N more — for every
+/// ranks x threads combination, with the moving window active and the
+/// production mu-overlap communication hiding on. Plus the failure paths:
+/// a missing or truncated per-rank file must abort *all* ranks with a clear
+/// message instead of hanging the healthy ranks in a collective.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <unistd.h>
+
+#include "core/solver.h"
+#include "io/checkpoint.h"
+
+namespace tpf {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string& tag) {
+        path = fs::temp_directory_path() / ("tpf_restart_" + tag + "_" +
+                                            std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/// Window-heavy configuration: the solid fill starts far above the window
+/// trigger, so the capped shift loop (at most NZ/4 cells per check) drains
+/// it across several window checks — some before step N, some after — which
+/// makes the restarted run replay shifts it did not itself initiate.
+core::SolverConfig windowConfig(int ranks, int threads) {
+    core::SolverConfig cfg;
+    cfg.globalCells = {16, 16, 32};
+    if (ranks > 1) cfg.blockSize = {16, 16, 32 / ranks};
+    cfg.threads = threads;
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.velocity = 0.02;
+    cfg.model.temp.zEut0 = 12.0;
+    cfg.init.fillHeight = 26;
+    cfg.window.enabled = true;
+    cfg.window.triggerFraction = 0.2; // trigger z = 6.4
+    cfg.window.checkEvery = 8;
+    cfg.overlapMu = true; // the paper's production communication hiding
+    return cfg;
+}
+
+std::string readAll(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/// Run the straight 2N-step reference and the N + restart + N split run with
+/// identical configuration; both final checkpoints land in \p dir.
+void runStraightAndSplit(const core::SolverConfig& cfg, int ranks, int steps2N,
+                         const std::string& straightDir,
+                         const std::string& midDir,
+                         const std::string& splitDir,
+                         double* windowOffsetAtMid,
+                         double* windowOffsetAtEnd) {
+    const int stepsN = steps2N / 2;
+    auto body = [&](vmpi::Comm* comm) {
+        // Straight reference: 2N uninterrupted steps.
+        core::Solver a(cfg, comm);
+        a.initialize();
+        a.run(steps2N);
+        io::saveCheckpoint(straightDir, a);
+        if (!comm || comm->isRoot())
+            *windowOffsetAtEnd = a.windowOffsetCells();
+
+        // Split run: N steps, checkpoint, fresh solver restarts, N more.
+        core::Solver b(cfg, comm);
+        b.initialize();
+        b.run(stepsN);
+        io::saveCheckpoint(midDir, b);
+        if (!comm || comm->isRoot())
+            *windowOffsetAtMid = b.windowOffsetCells();
+
+        core::Solver c(cfg, comm);
+        io::loadCheckpoint(midDir, c);
+        c.run(steps2N - stepsN);
+        io::saveCheckpoint(splitDir, c);
+    };
+    if (ranks == 1)
+        body(nullptr);
+    else
+        vmpi::runParallel(ranks, [&](vmpi::Comm& comm) { body(&comm); });
+}
+
+TEST(RestartEquivalence, SplitRunMatchesStraightRunBitwise) {
+    for (const int ranks : {1, 2}) {
+        for (const int threads : {1, 4}) {
+            SCOPED_TRACE("ranks=" + std::to_string(ranks) +
+                         " threads=" + std::to_string(threads));
+            TempDir dir("eq_r" + std::to_string(ranks) + "_t" +
+                        std::to_string(threads));
+            const std::string straight = (dir.path / "straight").string();
+            const std::string mid = (dir.path / "mid").string();
+            const std::string split = (dir.path / "split").string();
+
+            const core::SolverConfig cfg = windowConfig(ranks, threads);
+            double offMid = -1.0, offEnd = -1.0;
+            runStraightAndSplit(cfg, ranks, /*steps2N=*/24, straight, mid,
+                                split, &offMid, &offEnd);
+
+            // The scenario must actually exercise the window on both sides
+            // of the restart, otherwise this test proves nothing.
+            EXPECT_GT(offMid, 0.0) << "no window shift before the restart";
+            EXPECT_GT(offEnd, offMid) << "no window shift after the restart";
+
+            const io::CheckpointDiff d =
+                io::compareCheckpoints(straight, split);
+            EXPECT_TRUE(d.identical) << d.message();
+
+            // Stronger than field equality: the files (headers, clocks,
+            // CRCs, payloads) must be byte-for-byte identical.
+            for (int r = 0; r < ranks; ++r) {
+                const std::string name =
+                    "rank_" + std::to_string(r) + ".tpfchk";
+                EXPECT_EQ(readAll(fs::path(straight) / name),
+                          readAll(fs::path(split) / name))
+                    << "rank file " << name << " differs";
+            }
+        }
+    }
+}
+
+TEST(RestartEquivalence, WindowStateSurvivesRoundTrip) {
+    for (const int ranks : {1, 2}) {
+        SCOPED_TRACE("ranks=" + std::to_string(ranks));
+        TempDir dir("win_r" + std::to_string(ranks));
+        const std::string chk = (dir.path / "chk").string();
+
+        const core::SolverConfig cfg = windowConfig(ranks, /*threads=*/1);
+        double savedOffset = -1.0;
+        int savedFront = -1;
+        long long savedSteps = -1;
+        double savedTime = -1.0;
+
+        auto body = [&](vmpi::Comm* comm) {
+            core::Solver s(cfg, comm);
+            s.initialize();
+            s.run(10); // window check at step 0 and 8 -> offset > 0
+            const double off = s.windowOffsetCells();
+            const int front = s.frontPosition();
+            io::saveCheckpoint(chk, s);
+
+            core::Solver t(cfg, comm);
+            io::loadCheckpoint(chk, t);
+            const double off2 = t.windowOffsetCells();
+            const int front2 = t.frontPosition();
+            if (!comm || comm->isRoot()) {
+                savedOffset = off;
+                savedFront = front;
+                savedSteps = t.stepsDone();
+                savedTime = t.time();
+                EXPECT_EQ(off2, off);
+                EXPECT_EQ(front2, front);
+            }
+        };
+        if (ranks == 1)
+            body(nullptr);
+        else
+            vmpi::runParallel(ranks, [&](vmpi::Comm& comm) { body(&comm); });
+
+        EXPECT_GT(savedOffset, 0.0) << "scenario did not shift the window";
+        EXPECT_GE(savedFront, 0);
+        EXPECT_EQ(savedSteps, 10);
+        EXPECT_NEAR(savedTime, 10 * cfg.model.dt, 1e-12);
+    }
+}
+
+/// A rank whose file is missing must not leave the other ranks hanging in
+/// the restore's collective ghost exchange: every rank detects the failure
+/// via the load's status agreement and throws. runParallel then joins all
+/// ranks and rethrows — the fact that this test *returns* (instead of
+/// timing out) is the regression check for the collective-hang bug.
+TEST(RestartEquivalence, MissingRankFileAbortsAllRanks) {
+    TempDir dir("missing");
+    const std::string chk = (dir.path / "chk").string();
+
+    core::SolverConfig cfg;
+    cfg.globalCells = {16, 16, 24};
+    cfg.blockSize = {16, 16, 12};
+    cfg.init.fillHeight = 8;
+    cfg.model.temp.zEut0 = 10.0;
+
+    vmpi::runParallel(2, [&](vmpi::Comm& comm) {
+        core::Solver s(cfg, &comm);
+        s.initialize();
+        io::saveCheckpoint(chk, s);
+    });
+    fs::remove(fs::path(chk) / "rank_1.tpfchk");
+
+    try {
+        vmpi::runParallel(2, [&](vmpi::Comm& comm) {
+            core::Solver s(cfg, &comm);
+            io::loadCheckpoint(chk, s);
+            FAIL() << "load with a missing rank file must throw on all ranks";
+        });
+        FAIL() << "runParallel must rethrow the collective CheckpointError";
+    } catch (const io::CheckpointError& e) {
+        const std::string what = e.what();
+        // Depending on which rank's exception is rethrown first, the text is
+        // either the local diagnosis or the collective notification.
+        EXPECT_TRUE(what.find("cannot open") != std::string::npos ||
+                    what.find("another rank") != std::string::npos)
+            << what;
+    }
+}
+
+TEST(RestartEquivalence, TruncatedRankFileAbortsAllRanks) {
+    TempDir dir("truncated");
+    const std::string chk = (dir.path / "chk").string();
+
+    core::SolverConfig cfg;
+    cfg.globalCells = {16, 16, 24};
+    cfg.blockSize = {16, 16, 12};
+    cfg.init.fillHeight = 8;
+    cfg.model.temp.zEut0 = 10.0;
+
+    vmpi::runParallel(2, [&](vmpi::Comm& comm) {
+        core::Solver s(cfg, &comm);
+        s.initialize();
+        io::saveCheckpoint(chk, s);
+    });
+    const fs::path f1 = fs::path(chk) / "rank_1.tpfchk";
+    fs::resize_file(f1, fs::file_size(f1) / 3);
+
+    try {
+        vmpi::runParallel(2, [&](vmpi::Comm& comm) {
+            core::Solver s(cfg, &comm);
+            io::loadCheckpoint(chk, s);
+            FAIL() << "truncated rank file must abort the load on all ranks";
+        });
+        FAIL() << "runParallel must rethrow the collective CheckpointError";
+    } catch (const io::CheckpointError& e) {
+        const std::string what = e.what();
+        EXPECT_TRUE(what.find("truncated") != std::string::npos ||
+                    what.find("another rank") != std::string::npos)
+            << what;
+    }
+}
+
+} // namespace
+} // namespace tpf

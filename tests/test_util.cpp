@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/alignment.h"
+#include "util/crc32.h"
 #include "util/fastmath.h"
 #include "util/random.h"
 #include "util/simplex.h"
@@ -65,6 +66,37 @@ TEST(FastInvSqrt, AccuracyImprovesWithNewtonSteps) {
     const double e3 = std::abs(fastInvSqrt<3>(x) - exact);
     EXPECT_LT(e2, e1);
     EXPECT_LT(e3, e2);
+}
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+    // The canonical CRC-32 check: crc32("123456789") = 0xCBF43926.
+    EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+    // Incremental == one-shot.
+    EXPECT_EQ(util::crc32("6789", 4, util::crc32("12345", 5)),
+              0xCBF43926u);
+}
+
+TEST(SinpiCompact, MatchesLibmOnTheProfileRange) {
+    // The interface profiles evaluate sin(pi*s) for s in [-0.5, 0.5]. The
+    // deterministic polynomial must track libm within ~1 ulp of sin's range
+    // — far below the physical accuracy of the profile — while using no
+    // libm call itself (golden checkpoints depend on its bit-stability).
+    double maxErr = 0.0;
+    for (int i = 0; i <= 20000; ++i) {
+        const double s = -0.5 + static_cast<double>(i) / 20000.0;
+        maxErr = std::max(maxErr,
+                          std::abs(sinpiCompact(s) - std::sin(M_PI * s)));
+    }
+    EXPECT_LT(maxErr, 1e-15);
+}
+
+TEST(SinpiCompact, StaysInsideUnitRangeAtTheEndpoints) {
+    // 0.5*(1 + sinpiCompact(s)) must be an exact phase fraction in [0, 1].
+    EXPECT_LE(sinpiCompact(0.5), 1.0);
+    EXPECT_GE(sinpiCompact(-0.5), -1.0);
+    EXPECT_EQ(sinpiCompact(0.0), 0.0);
+    EXPECT_EQ(sinpiCompact(0.25), -sinpiCompact(-0.25));
 }
 
 TEST(ReciprocalTable, MatchesDivision) {
