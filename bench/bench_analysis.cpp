@@ -1,0 +1,118 @@
+/// In-situ analysis overhead: what one observer sample costs next to the
+/// solver's own step, so an --analyze cadence can be chosen with open eyes.
+/// Reports per-observer sample time on a grown microstructure (serial and
+/// a 2-rank decomposition, where the sample adds the tile gathers) and the
+/// end-to-end step-rate overhead of analyzing at several cadences.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/observers.h"
+#include "core/solver.h"
+#include "perf/perf.h"
+#include "util/table.h"
+#include "vmpi/comm.h"
+
+using namespace tpf;
+
+namespace {
+
+core::SolverConfig benchConfig(int ranks) {
+    core::SolverConfig cfg;
+    cfg.globalCells = {48, 48, 64};
+    if (ranks > 1) cfg.blockSize = {48, 48, 64 / ranks};
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.zEut0 = 28.0;
+    cfg.model.temp.velocity = 0.02;
+    cfg.init.fillHeight = 16;
+    cfg.window.enabled = true;
+    cfg.overlapMu = true;
+    return cfg;
+}
+
+constexpr int kWarmupSteps = 60; ///< grow a front so the slab gathers work
+
+/// Mean seconds of one pipeline sample over \p reps calls.
+double sampleSeconds(analysis::Pipeline& p, core::Solver& s, int reps) {
+    const double t0 = perf::now();
+    for (int i = 0; i < reps; ++i) p.sample(s, s.stepsDone() + i + 1);
+    return (perf::now() - t0) / reps;
+}
+
+} // namespace
+
+int main() {
+    std::printf("== in-situ analysis overhead (bench_analysis) ==\n\n");
+
+    // --- per-observer cost, serial ----------------------------------------
+    core::SolverConfig cfg = benchConfig(1);
+    core::Solver solo(cfg);
+    solo.initialize();
+    solo.run(kWarmupSteps);
+
+    const double t0 = perf::now();
+    solo.step();
+    const double stepSec = perf::now() - t0;
+
+    Table t({"observer", "sample [ms]", "vs one step"});
+    double pipelineMs = 0.0;
+    for (const auto& name : analysis::observerNames()) {
+        analysis::Pipeline p;
+        p.add(analysis::makeObserver(name));
+        const double sec = sampleSeconds(p, solo, 20);
+        pipelineMs += sec * 1000.0;
+        t.addRow({name, Table::num(sec * 1000.0),
+                  Table::num(sec / stepSec, 2) + "x"});
+    }
+    t.addRow({"all (pipeline)", Table::num(pipelineMs),
+              Table::num(pipelineMs / 1000.0 / stepSec, 2) + "x"});
+    std::printf("%d^2 x %d cells, front grown for %d steps; one step = %s ms\n",
+                cfg.globalCells.x, cfg.globalCells.z, kWarmupSteps,
+                Table::num(stepSec * 1000.0).c_str());
+    t.print();
+
+    // --- per-sample cost with the rank gathers ----------------------------
+    std::printf("\nsample cost across ranks (adds the tile gathers):\n");
+    Table tr({"ranks", "sample [ms]"});
+    for (const int ranks : {1, 2, 4}) {
+        double ms = 0.0;
+        vmpi::runParallel(ranks, [&](vmpi::Comm& comm) {
+            core::Solver s(benchConfig(ranks), &comm);
+            s.initialize();
+            s.run(kWarmupSteps);
+            analysis::Pipeline p;
+            for (const auto& n : analysis::observerNames())
+                p.add(analysis::makeObserver(n));
+            const double sec = sampleSeconds(p, s, 10);
+            if (comm.isRoot()) ms = sec * 1000.0;
+        });
+        tr.addRow({std::to_string(ranks), Table::num(ms)});
+    }
+    tr.print();
+
+    // --- end-to-end cadence overhead --------------------------------------
+    std::printf("\nend-to-end overhead of --analyze <every> (serial, %d "
+                "steps):\n",
+                kWarmupSteps);
+    Table tc({"cadence", "steps/s", "overhead"});
+    double baseline = 0.0;
+    for (const int every : {0, 16, 4, 1}) {
+        core::Solver s(benchConfig(1));
+        analysis::Pipeline p;
+        for (const auto& n : analysis::observerNames())
+            p.add(analysis::makeObserver(n));
+        if (every > 0) p.attach(s, every);
+        s.initialize();
+        const double b0 = perf::now();
+        s.run(kWarmupSteps);
+        const double rate = kWarmupSteps / (perf::now() - b0);
+        if (every == 0) baseline = rate;
+        tc.addRow({every == 0 ? "off" : ("every " + std::to_string(every)),
+                   Table::num(rate),
+                   every == 0 ? "-"
+                              : Table::num((baseline / rate - 1.0) * 100.0, 2) +
+                                    " %"});
+    }
+    tc.print();
+    return 0;
+}

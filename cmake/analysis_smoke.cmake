@@ -1,0 +1,73 @@
+# In-situ analysis smoke at the CLI level (the library-level contracts are
+# tests/test_analysis_parallel.cpp and the golden time-series suite): a
+# hybrid moving-window run with --analyze must stream a CSV with the
+# versioned schema line, the expected header prefix, one row per cadence
+# boundary (plus the initial sample) and a consistent cell count per row.
+# Driven by ctest (smoke_analysis) and by CI:
+#
+#   cmake -DTPF_SIM=<path> -DOUT=<scratch-dir> -P cmake/analysis_smoke.cmake
+
+foreach(var TPF_SIM OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "analysis_smoke.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+execute_process(
+    COMMAND ${TPF_SIM} --scenario solidify --size 16,16,32 --steps 8
+            --ranks 2 --threads 2 --window --analyze 4 --out ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "analysis smoke: tpf-sim --analyze failed (rc=${rc})")
+endif()
+
+set(csv "${OUT}/analysis.csv")
+if(NOT EXISTS "${csv}")
+    message(FATAL_ERROR "analysis smoke: ${csv} was not written")
+endif()
+
+file(STRINGS "${csv}" lines)
+list(LENGTH lines nlines)
+# Schema + header + rows at steps 0, 4, 8.
+if(NOT nlines EQUAL 5)
+    message(FATAL_ERROR
+        "analysis smoke: expected 5 lines (schema, header, 3 rows), "
+        "got ${nlines} in ${csv}")
+endif()
+
+list(GET lines 0 schema)
+if(NOT schema STREQUAL "# tpf-analysis v1")
+    message(FATAL_ERROR
+        "analysis smoke: bad schema line '${schema}' in ${csv}")
+endif()
+
+list(GET lines 1 header)
+if(NOT header MATCHES "^step,time,window_offset,frac_s0,")
+    message(FATAL_ERROR
+        "analysis smoke: unexpected header '${header}' in ${csv}")
+endif()
+string(REGEX MATCHALL "," header_commas "${header}")
+list(LENGTH header_commas ncols)
+
+set(expected_steps 0 4 8)
+foreach(i RANGE 2 4)
+    list(GET lines ${i} row)
+    string(REGEX MATCHALL "," row_commas "${row}")
+    list(LENGTH row_commas row_cols)
+    if(NOT row_cols EQUAL ncols)
+        message(FATAL_ERROR
+            "analysis smoke: row ${i} has ${row_cols} separators, header "
+            "has ${ncols}: '${row}'")
+    endif()
+    math(EXPR want_idx "${i} - 2")
+    list(GET expected_steps ${want_idx} want)
+    if(NOT row MATCHES "^${want},")
+        message(FATAL_ERROR
+            "analysis smoke: row ${i} should sample step ${want}: '${row}'")
+    endif()
+endforeach()
+
+message(STATUS "analysis smoke: ${csv} ok (${ncols} columns, 3 rows)")

@@ -2,13 +2,46 @@
 
 #include <cmath>
 
+#include "analysis/lamellae.h" // indicatorPlane: the shared phase threshold
 #include "util/assert.h"
 
 namespace tpf::analysis {
 
 namespace {
 inline int wrap(int v, int n) { return ((v % n) + n) % n; }
+
+/// Integer S2 hit counts of one plane, accumulated into \p hits.
+void accumulatePlaneHits(const unsigned char* ind, int nx, int ny, int axis,
+                         int maxShift, std::vector<long long>& hits) {
+    for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+            if (!ind[static_cast<std::size_t>(y) * nx + x]) continue;
+            for (int r = 0; r <= maxShift; ++r) {
+                const int xs = axis == 0 ? wrap(x + r, nx) : x;
+                const int ys = axis == 1 ? wrap(y + r, ny) : y;
+                if (ind[static_cast<std::size_t>(ys) * nx + xs])
+                    ++hits[static_cast<std::size_t>(r)];
+            }
+        }
+    }
+}
+
 } // namespace
+
+std::vector<double> twoPointCorrelationPlane(const unsigned char* ind, int nx,
+                                             int ny, int axis, int maxShift) {
+    TPF_ASSERT(axis == 0 || axis == 1, "correlation axis must be x or y");
+    TPF_ASSERT(ind != nullptr && nx > 0 && ny > 0, "invalid indicator plane");
+
+    std::vector<long long> hits(static_cast<std::size_t>(maxShift) + 1, 0);
+    accumulatePlaneHits(ind, nx, ny, axis, maxShift, hits);
+
+    std::vector<double> s2(hits.size());
+    const double inv = 1.0 / (static_cast<double>(nx) * ny);
+    for (std::size_t r = 0; r < hits.size(); ++r)
+        s2[r] = static_cast<double>(hits[r]) * inv;
+    return s2;
+}
 
 std::vector<double> twoPointCorrelation(const Field<double>& phi, int phase,
                                         int axis, int maxShift, int z0,
@@ -17,35 +50,24 @@ std::vector<double> twoPointCorrelation(const Field<double>& phi, int phase,
     TPF_ASSERT(z0 >= 0 && z1 < phi.nz() && z0 <= z1, "invalid z slab");
     const int nx = phi.nx(), ny = phi.ny();
 
-    std::vector<double> s2(static_cast<std::size_t>(maxShift) + 1, 0.0);
-    long long samples = 0;
-
+    std::vector<long long> hits(static_cast<std::size_t>(maxShift) + 1, 0);
     for (int z = z0; z <= z1; ++z) {
-        for (int y = 0; y < ny; ++y) {
-            for (int x = 0; x < nx; ++x) {
-                const bool a = phi(x, y, z, phase) > 0.5;
-                if (!a) {
-                    ++samples;
-                    continue;
-                }
-                for (int r = 0; r <= maxShift; ++r) {
-                    const int xs = axis == 0 ? wrap(x + r, nx) : x;
-                    const int ys = axis == 1 ? wrap(y + r, ny) : y;
-                    if (phi(xs, ys, z, phase) > 0.5)
-                        s2[static_cast<std::size_t>(r)] += 1.0;
-                }
-                ++samples;
-            }
-        }
+        const auto ind = indicatorPlane(phi, phase, z);
+        accumulatePlaneHits(ind.data(), nx, ny, axis, maxShift, hits);
     }
-    const double inv = samples > 0 ? 1.0 / static_cast<double>(samples) : 0.0;
-    for (auto& v : s2) v *= inv;
+
+    std::vector<double> s2(hits.size());
+    const double inv = 1.0 / (static_cast<double>(nx) * ny * (z1 - z0 + 1));
+    for (std::size_t r = 0; r < hits.size(); ++r)
+        s2[r] = static_cast<double>(hits[r]) * inv;
     return s2;
 }
 
 double lamellarSpacingEstimate(const std::vector<double>& s2) {
     // First local minimum then the following local maximum of S2(r): the
     // maximum position approximates the repeat distance of the lamellae.
+    // Monotone or constant profiles never complete the descend+ascend
+    // pattern and yield 0 = "no estimate" (see the header contract).
     std::size_t i = 1;
     while (i + 1 < s2.size() && s2[i] > s2[i + 1]) ++i; // descend
     std::size_t minPos = i;
@@ -54,18 +76,11 @@ double lamellarSpacingEstimate(const std::vector<double>& s2) {
     return static_cast<double>(i);
 }
 
-std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
-                                     int z, int maxShift) {
-    const int nx = phi.nx(), ny = phi.ny();
+std::vector<double> correlationMap2DPlane(const unsigned char* ind, int nx,
+                                          int ny, int maxShift) {
+    TPF_ASSERT(ind != nullptr && nx > 0 && ny > 0, "invalid indicator plane");
     const int side = 2 * maxShift + 1;
     std::vector<double> map(static_cast<std::size_t>(side) * side, 0.0);
-
-    // Precompute the indicator slice.
-    std::vector<char> ind(static_cast<std::size_t>(nx) * ny);
-    for (int y = 0; y < ny; ++y)
-        for (int x = 0; x < nx; ++x)
-            ind[static_cast<std::size_t>(y) * nx + x] =
-                phi(x, y, z, phase) > 0.5 ? 1 : 0;
 
     for (int dy = -maxShift; dy <= maxShift; ++dy) {
         for (int dx = -maxShift; dx <= maxShift; ++dx) {
@@ -84,6 +99,12 @@ std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
         }
     }
     return map;
+}
+
+std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
+                                     int z, int maxShift) {
+    const auto ind = indicatorPlane(phi, phase, z);
+    return correlationMap2DPlane(ind.data(), phi.nx(), phi.ny(), maxShift);
 }
 
 CorrelationPca correlationPca(const std::vector<double>& map, int maxShift) {

@@ -4,6 +4,12 @@
 /// component analysis — the quantitative microstructure comparison the paper
 /// announces ("a quantitative comparison using Principal Component Analysis
 /// on two-point correlation is in preparation").
+///
+/// Like lamellae.h, the module has a plane-based core operating on raw
+/// indicator planes (what the in-situ observer pipeline assembles from rank
+/// tiles — hit counting is integer, the single normalizing division is the
+/// only floating-point operation, so the results are decomposition-
+/// independent) and field-based convenience wrappers.
 
 #include <vector>
 
@@ -12,19 +18,34 @@
 
 namespace tpf::analysis {
 
-/// 1D two-point (auto)correlation S2(r) of the indicator 1[phi_a > 0.5]
-/// along \p axis (0 = x, 1 = y), averaged over the slab z in [z0, z1], with
-/// periodic wrapping. S2(0) equals the phase fraction; S2(r) -> fraction^2
+/// 1D two-point (auto)correlation S2(r) of an indicator plane (nx*ny bytes,
+/// row-major) along \p axis (0 = x, 1 = y) with periodic wrapping, for
+/// r in [0, maxShift]. S2(0) equals the phase fraction; S2(r) -> fraction^2
 /// for uncorrelated distances; oscillations reveal the lamellar spacing.
+std::vector<double> twoPointCorrelationPlane(const unsigned char* ind, int nx,
+                                             int ny, int axis, int maxShift);
+
+/// S2 of 1[phi_phase > 0.5], averaged over the slab z in [z0, z1].
 std::vector<double> twoPointCorrelation(const Field<double>& phi, int phase,
                                         int axis, int maxShift, int z0, int z1);
 
 /// Estimate the dominant lamellar spacing from the first non-trivial local
-/// maximum of S2 (returns 0 if none found).
+/// maximum of S2 (descend to the first local minimum, then ascend to the
+/// next maximum; the maximum's position approximates the repeat distance).
+///
+/// Returns 0 when S2 carries no spacing signal: a monotone profile (no
+/// interior minimum or no maximum after it), a constant profile, or fewer
+/// than three samples. Callers must treat 0 as "no estimate", not as a
+/// zero-width spacing.
 double lamellarSpacingEstimate(const std::vector<double>& s2);
 
-/// Full 2D autocorrelation map C(dx, dy) for lags |dx|,|dy| <= maxShift in
-/// slice z (periodic). Returned row-major with side (2 maxShift + 1).
+/// Full 2D autocorrelation map C(dx, dy) of an indicator plane for lags
+/// |dx|,|dy| <= maxShift (periodic). Returned row-major with side
+/// (2 maxShift + 1).
+std::vector<double> correlationMap2DPlane(const unsigned char* ind, int nx,
+                                          int ny, int maxShift);
+
+/// Correlation map of 1[phi_phase > 0.5] in slice \p z.
 std::vector<double> correlationMap2D(const Field<double>& phi, int phase,
                                      int z, int maxShift);
 

@@ -1,0 +1,179 @@
+#include "analysis/gather.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "analysis/lamellae.h" // indicatorPlane: the shared phase threshold
+#include "util/assert.h"
+
+namespace tpf::analysis {
+
+namespace {
+
+/// Serialized tile record headers. Trivially copyable, fixed width; the
+/// blobs only ever live inside one process (vmpi transports by memcpy).
+struct TileHeader {
+    int gz = 0; ///< global z of the slice
+    int ox = 0; ///< global x of the tile's first cell
+    int oy = 0; ///< global y of the tile's first cell
+    int sx = 0; ///< tile extent in x
+    int sy = 0; ///< tile extent in y
+};
+static_assert(std::is_trivially_copyable_v<TileHeader>);
+
+struct SumRecord {
+    int gz = 0;
+    int ox = 0;
+    int oy = 0;
+    int pad = 0; ///< keeps the doubles 8-byte aligned in the blob
+    std::array<double, core::N> sum{};
+};
+static_assert(std::is_trivially_copyable_v<SumRecord>);
+
+void appendBytes(std::vector<std::byte>& blob, const void* data,
+                 std::size_t bytes) {
+    const std::size_t at = blob.size();
+    blob.resize(at + bytes);
+    std::memcpy(blob.data() + at, data, bytes);
+}
+
+} // namespace
+
+std::vector<std::vector<unsigned char>> gatherIndicatorPlanes(
+    const std::vector<std::unique_ptr<core::SimBlock>>& blocks,
+    const BlockForest& bf, vmpi::Comm* comm, int phase, int z0, int z1) {
+    const Int3 global = bf.globalCells();
+    TPF_ASSERT(phase >= 0 && phase < core::N, "phase index out of range");
+    TPF_ASSERT(z0 >= 0 && z1 < global.z && z0 <= z1,
+               "global z slab out of range");
+
+    // Per-rank tile sweep: indicator bytes of every local slice in [z0, z1].
+    std::vector<std::byte> blob;
+    for (const auto& b : blocks) {
+        const int lz0 = std::max(z0 - b->origin.z, 0);
+        const int lz1 = std::min(z1 - b->origin.z, b->size.z - 1);
+        for (int lz = lz0; lz <= lz1; ++lz) {
+            TileHeader h;
+            h.gz = b->origin.z + lz;
+            h.ox = b->origin.x;
+            h.oy = b->origin.y;
+            h.sx = b->size.x;
+            h.sy = b->size.y;
+            const std::vector<unsigned char> tile =
+                indicatorPlane(b->phiSrc, phase, lz);
+            appendBytes(blob, &h, sizeof h);
+            appendBytes(blob, tile.data(), tile.size());
+        }
+    }
+
+    // Rank-ordered gather; single-rank runs just use the local blob.
+    std::vector<std::vector<std::byte>> perRank;
+    if (comm != nullptr && comm->size() > 1) {
+        perRank = comm->gatherAllBytes(blob);
+        if (!comm->isRoot()) return {};
+    } else {
+        perRank.push_back(std::move(blob));
+    }
+
+    // Positional placement into the assembled planes: each global cell is
+    // written exactly once, so the result is independent of tile order.
+    const std::size_t planeCells =
+        static_cast<std::size_t>(global.x) * global.y;
+    std::vector<std::vector<unsigned char>> planes(
+        static_cast<std::size_t>(z1 - z0 + 1),
+        std::vector<unsigned char>(planeCells, 0));
+    for (const auto& rb : perRank) {
+        std::size_t at = 0;
+        while (at < rb.size()) {
+            TPF_ASSERT(at + sizeof(TileHeader) <= rb.size(),
+                       "truncated analysis tile blob");
+            TileHeader h;
+            std::memcpy(&h, rb.data() + at, sizeof h);
+            at += sizeof h;
+            const std::size_t bytes =
+                static_cast<std::size_t>(h.sx) * h.sy;
+            TPF_ASSERT(at + bytes <= rb.size(),
+                       "truncated analysis tile payload");
+            TPF_ASSERT(h.gz >= z0 && h.gz <= z1, "tile z out of slab");
+            auto& plane = planes[static_cast<std::size_t>(h.gz - z0)];
+            for (int y = 0; y < h.sy; ++y)
+                std::memcpy(plane.data() +
+                                static_cast<std::size_t>(h.oy + y) * global.x +
+                                h.ox,
+                            rb.data() + at +
+                                static_cast<std::size_t>(y) * h.sx,
+                            static_cast<std::size_t>(h.sx));
+            at += bytes;
+        }
+    }
+    return planes;
+}
+
+std::vector<std::array<double, core::N>> gatherPlaneSums(
+    const std::vector<std::unique_ptr<core::SimBlock>>& blocks,
+    const BlockForest& bf, vmpi::Comm* comm) {
+    const Int3 global = bf.globalCells();
+
+    // Per-rank tile sweep: per-slice per-component sums, y-outer / x-inner.
+    std::vector<std::byte> blob;
+    for (const auto& b : blocks) {
+        const Field<double>& phi = b->phiSrc;
+        for (int lz = 0; lz < b->size.z; ++lz) {
+            SumRecord rec;
+            rec.gz = b->origin.z + lz;
+            rec.ox = b->origin.x;
+            rec.oy = b->origin.y;
+            for (int a = 0; a < core::N; ++a) {
+                double s = 0.0;
+                for (int y = 0; y < b->size.y; ++y)
+                    for (int x = 0; x < b->size.x; ++x)
+                        s += phi(x, y, lz, a);
+                rec.sum[static_cast<std::size_t>(a)] = s;
+            }
+            appendBytes(blob, &rec, sizeof rec);
+        }
+    }
+
+    std::vector<std::vector<std::byte>> perRank;
+    if (comm != nullptr && comm->size() > 1) {
+        perRank = comm->gatherAllBytes(blob);
+        if (!comm->isRoot()) return {};
+    } else {
+        perRank.push_back(std::move(blob));
+    }
+
+    std::vector<SumRecord> records;
+    for (const auto& rb : perRank) {
+        TPF_ASSERT(rb.size() % sizeof(SumRecord) == 0,
+                   "malformed analysis sum blob");
+        const std::size_t n = rb.size() / sizeof(SumRecord);
+        for (std::size_t i = 0; i < n; ++i) {
+            SumRecord rec;
+            std::memcpy(&rec, rb.data() + i * sizeof rec, sizeof rec);
+            records.push_back(rec);
+        }
+    }
+
+    // Canonical combine: ascending (z, y-origin, x-origin). This fixes the
+    // floating-point addition order independently of rank count.
+    std::sort(records.begin(), records.end(),
+              [](const SumRecord& a, const SumRecord& b) {
+                  if (a.gz != b.gz) return a.gz < b.gz;
+                  if (a.oy != b.oy) return a.oy < b.oy;
+                  return a.ox < b.ox;
+              });
+
+    std::vector<std::array<double, core::N>> planeSums(
+        static_cast<std::size_t>(global.z));
+    for (auto& p : planeSums) p.fill(0.0);
+    for (const auto& rec : records) {
+        TPF_ASSERT(rec.gz >= 0 && rec.gz < global.z, "sum record z range");
+        for (int a = 0; a < core::N; ++a)
+            planeSums[static_cast<std::size_t>(rec.gz)]
+                     [static_cast<std::size_t>(a)] +=
+                rec.sum[static_cast<std::size_t>(a)];
+    }
+    return planeSums;
+}
+
+} // namespace tpf::analysis

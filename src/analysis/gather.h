@@ -1,0 +1,59 @@
+#pragma once
+/// \file gather.h
+/// Rank-parallel assembly of global x-y planes and per-slice sums for the
+/// in-situ analysis pipeline.
+///
+/// ## Determinism contract
+///
+/// Every diagnostic the observers emit must be bitwise identical for any
+/// ranks x threads decomposition of the same run. The scheme that delivers
+/// this has three steps:
+///
+///  1. **Per-rank tile sweeps.** Each rank walks its local blocks and
+///     extracts, per global z slice, either an indicator tile (bytes) or the
+///     per-component sums of the tile's phi values, always in the fixed
+///     y-outer / x-inner order. A tile is the x-y cross-section of one block
+///     at one global z — its content and (for sums) its internal reduction
+///     order depend only on the block decomposition, never on which rank
+///     owns the block or how many sweep threads the rank uses (the analysis
+///     sweeps are single-threaded per rank by design; they are off the
+///     step's critical path).
+///  2. **Rank-ordered gather.** The serialized tiles travel to root with
+///     vmpi::Comm::gatherAllBytes, which collects in ascending rank order.
+///  3. **Canonical combine on root.** Root places indicator tiles into the
+///     global plane by their (y, x) origin — positional, so arrival order is
+///     irrelevant — and accumulates sum tiles in ascending (z, y-origin,
+///     x-origin) order. The single-rank path runs the *same* extract +
+///     combine code over its local tiles, so serial and parallel runs
+///     execute identical floating-point sequences by construction.
+///
+/// With the production z-slab decomposition every plane is one tile, so the
+/// combine sequence is literally the serial one for any rank count. Only an
+/// x/y block split changes the grouping of the per-plane sums — and then
+/// uniformly for every rank count running that block size.
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/sim_block.h"
+#include "vmpi/comm.h"
+
+namespace tpf::analysis {
+
+/// Indicator planes 1[phi_phase > 0.5] of the global slices z in [z0, z1]
+/// (window coordinates), assembled from the ranks' phiSrc tiles. Root
+/// returns z1-z0+1 planes of globalNx*globalNy bytes (row-major, y outer);
+/// non-roots get an empty vector. Collective when \p comm spans > 1 rank.
+std::vector<std::vector<unsigned char>> gatherIndicatorPlanes(
+    const std::vector<std::unique_ptr<core::SimBlock>>& blocks,
+    const BlockForest& bf, vmpi::Comm* comm, int phase, int z0, int z1);
+
+/// Per-slice sums of every phi component over the global plane, for all
+/// global z: root returns globalNz entries combined in the canonical order
+/// described above; non-roots get an empty vector. Collective.
+std::vector<std::array<double, core::N>> gatherPlaneSums(
+    const std::vector<std::unique_ptr<core::SimBlock>>& blocks,
+    const BlockForest& bf, vmpi::Comm* comm);
+
+} // namespace tpf::analysis

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "util/assert.h"
+
 namespace tpf::analysis {
 
 namespace {
@@ -36,17 +38,46 @@ private:
 
 inline int wrap(int v, int n) { return ((v % n) + n) % n; }
 
+/// Accumulate the parent/child transition counts between two labeled slices.
+void countTransitions(const SliceLabels& prev, const SliceLabels& cur,
+                      LamellaStats& st) {
+    std::set<std::pair<int, int>> links;
+    for (std::size_t i = 0; i < cur.label.size(); ++i) {
+        if (prev.label[i] >= 0 && cur.label[i] >= 0)
+            links.insert({prev.label[i], cur.label[i]});
+    }
+    std::vector<int> children(static_cast<std::size_t>(prev.count), 0);
+    std::vector<int> parents(static_cast<std::size_t>(cur.count), 0);
+    for (const auto& [p, c] : links) {
+        ++children[static_cast<std::size_t>(p)];
+        ++parents[static_cast<std::size_t>(c)];
+    }
+    for (int c : children) {
+        if (c == 0) ++st.vanishes;
+        if (c >= 2) ++st.splits;
+    }
+    for (int p : parents) {
+        if (p == 0) ++st.appears;
+        if (p >= 2) ++st.merges;
+    }
+}
+
 } // namespace
 
-SliceLabels labelSlice(const Field<double>& phi, int phase, int z) {
+std::vector<unsigned char> indicatorPlane(const Field<double>& phi, int phase,
+                                          int z) {
     const int nx = phi.nx(), ny = phi.ny();
-    const int cells = nx * ny;
-
-    std::vector<char> ind(static_cast<std::size_t>(cells));
+    std::vector<unsigned char> ind(static_cast<std::size_t>(nx) * ny);
     for (int y = 0; y < ny; ++y)
         for (int x = 0; x < nx; ++x)
             ind[static_cast<std::size_t>(y) * nx + x] =
                 phi(x, y, z, phase) > 0.5 ? 1 : 0;
+    return ind;
+}
+
+SliceLabels labelPlane(const unsigned char* ind, int nx, int ny) {
+    TPF_ASSERT(ind != nullptr && nx > 0 && ny > 0, "invalid indicator plane");
+    const int cells = nx * ny;
 
     UnionFind uf(cells);
     for (int y = 0; y < ny; ++y) {
@@ -76,39 +107,34 @@ SliceLabels labelSlice(const Field<double>& phi, int phase, int z) {
     return out;
 }
 
-LamellaStats analyzeLamellae(const Field<double>& phi, int phase, int z0,
-                             int z1) {
+SliceLabels labelSlice(const Field<double>& phi, int phase, int z) {
+    const auto ind = indicatorPlane(phi, phase, z);
+    return labelPlane(ind.data(), phi.nx(), phi.ny());
+}
+
+LamellaStats analyzeLamellaePlanes(
+    const std::vector<std::vector<unsigned char>>& planes, int nx, int ny) {
     LamellaStats st;
-    SliceLabels prev = labelSlice(phi, phase, z0);
+    if (planes.empty()) return st;
+
+    SliceLabels prev = labelPlane(planes.front().data(), nx, ny);
     st.countPerSlice.push_back(prev.count);
-
-    for (int z = z0 + 1; z <= z1; ++z) {
-        SliceLabels cur = labelSlice(phi, phase, z);
+    for (std::size_t p = 1; p < planes.size(); ++p) {
+        SliceLabels cur = labelPlane(planes[p].data(), nx, ny);
         st.countPerSlice.push_back(cur.count);
-
-        // Overlap relation between components of consecutive slices.
-        std::set<std::pair<int, int>> links;
-        for (std::size_t i = 0; i < cur.label.size(); ++i) {
-            if (prev.label[i] >= 0 && cur.label[i] >= 0)
-                links.insert({prev.label[i], cur.label[i]});
-        }
-        std::vector<int> children(static_cast<std::size_t>(prev.count), 0);
-        std::vector<int> parents(static_cast<std::size_t>(cur.count), 0);
-        for (const auto& [p, c] : links) {
-            ++children[static_cast<std::size_t>(p)];
-            ++parents[static_cast<std::size_t>(c)];
-        }
-        for (int c : children) {
-            if (c == 0) ++st.vanishes;
-            if (c >= 2) ++st.splits;
-        }
-        for (int p : parents) {
-            if (p == 0) ++st.appears;
-            if (p >= 2) ++st.merges;
-        }
+        countTransitions(prev, cur, st);
         prev = std::move(cur);
     }
     return st;
+}
+
+LamellaStats analyzeLamellae(const Field<double>& phi, int phase, int z0,
+                             int z1) {
+    std::vector<std::vector<unsigned char>> planes;
+    planes.reserve(static_cast<std::size_t>(z1 - z0 + 1));
+    for (int z = z0; z <= z1; ++z)
+        planes.push_back(indicatorPlane(phi, phase, z));
+    return analyzeLamellaePlanes(planes, phi.nx(), phi.ny());
 }
 
 } // namespace tpf::analysis

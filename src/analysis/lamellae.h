@@ -5,6 +5,15 @@
 /// slices — the events the paper highlights in Figures 10/11 ("various splits
 /// and merges of these lamellae can be observed", "brick-like structures that
 /// are connected or form ring-like structures").
+///
+/// Two entry layers:
+///  - plane-based (`labelPlane` / `analyzeLamellaePlanes`): operate on raw
+///    indicator planes (nx*ny bytes, row-major, y outer). This is what the
+///    in-situ observer pipeline feeds with globally assembled slices in
+///    multi-rank runs (src/analysis/gather.h) — the labeling itself is
+///    integer-only and therefore decomposition-independent by construction.
+///  - field-based (`labelSlice` / `analyzeLamellae`): convenience wrappers
+///    over a whole-domain Field for offline analysis and tests.
 
 #include <vector>
 
@@ -12,14 +21,30 @@
 
 namespace tpf::analysis {
 
-/// Label the connected components of 1[phi_phase > 0.5] in slice \p z with
-/// 4-connectivity and periodic wrapping. Returns labels (-1 where the
-/// indicator is false) and the number of components.
+/// Component labels of one slice/plane: -1 outside the phase, else a label
+/// in [0, count). Labels are assigned in first-touch scan order (y outer,
+/// x inner), so they are deterministic for a given plane.
 struct SliceLabels {
     std::vector<int> label; ///< nx*ny row-major, -1 outside the phase
     int count = 0;
 };
 
+/// The indicator plane 1[phi_phase > 0.5] of slice \p z: nx*ny bytes,
+/// row-major with y outer. The single definition of the threshold and cell
+/// order that every plane-based diagnostic (labeling, correlation, the
+/// rank-parallel tile gathers) builds on — keep it that way, or observers
+/// silently disagree about what "inside a phase" means.
+std::vector<unsigned char> indicatorPlane(const Field<double>& phi, int phase,
+                                          int z);
+
+/// Label the connected components of a boolean indicator plane (nonzero =
+/// inside) with 4-connectivity and periodic wrapping in both x and y.
+/// Edge cases: an empty plane yields count 0; a full plane yields one
+/// component; a stripe touching itself across either (or both) periodic
+/// edges stays a single component.
+SliceLabels labelPlane(const unsigned char* ind, int nx, int ny);
+
+/// Label the components of 1[phi_phase > 0.5] in slice \p z of a field.
 SliceLabels labelSlice(const Field<double>& phi, int phase, int z);
 
 /// Lamella statistics per slice and the topological transitions along z.
@@ -31,7 +56,12 @@ struct LamellaStats {
     int vanishes = 0; ///< component with no child
 };
 
-/// Analyze phase \p phase over slices [z0, z1].
+/// Analyze a stack of indicator planes (each nx*ny bytes, ascending z).
+/// An empty stack returns all-zero stats.
+LamellaStats analyzeLamellaePlanes(
+    const std::vector<std::vector<unsigned char>>& planes, int nx, int ny);
+
+/// Analyze phase \p phase of a field over slices [z0, z1].
 LamellaStats analyzeLamellae(const Field<double>& phi, int phase, int z0,
                              int z1);
 

@@ -17,11 +17,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "analysis/observers.h"
 #include "app/cli.h"
 #include "core/regions.h"
 #include "core/solver.h"
 #include "io/checkpoint.h"
+#include "io/csv_writer.h"
 #include "io/writers.h"
 #include "perf/perf.h"
 #include "vmpi/comm.h"
@@ -39,7 +42,26 @@ struct RunOptions {
     int reportEvery = 0;
     int vtkEvery = 0;
     int checkpointEvery = 0;
+    int analyzeEvery = 0;      ///< in-situ analysis cadence (0 = off)
+    std::string analysisDir;   ///< CSV directory ("" = outdir)
+    std::vector<std::string> observers; ///< enabled observer names, in order
 };
+
+/// Split a comma-separated observer list ("fractions,lamellae,...").
+std::vector<std::string> splitObserverList(const std::string& list) {
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::string name =
+            list.substr(begin, comma == std::string::npos ? std::string::npos
+                                                          : comma - begin);
+        if (!name.empty()) names.push_back(name);
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
+    return names;
+}
 
 void writeVtkSnapshot(const RunOptions& opt, core::Solver& solver,
                       long long step) {
@@ -95,6 +117,13 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     const bool isRoot = !comm || comm->isRoot();
     core::Solver solver(cfg, comm);
 
+    // In-situ analysis pipeline: every rank builds the same observer set in
+    // the same order (sampling is collective); only root streams the CSV.
+    analysis::Pipeline pipeline;
+    if (opt.analyzeEvery > 0)
+        for (const auto& name : opt.observers)
+            pipeline.add(analysis::makeObserver(name));
+
     if (!opt.restart.empty()) {
         // Resume from a checkpoint: fields, clocks, window offset and the
         // step counter are restored; no scenario initialization runs.
@@ -115,6 +144,40 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
         for (auto& b : solver.localBlocks())
             core::fillScenario(*b, sc, solver.system(), cfg.model.eps);
         solver.restore(/*time=*/0.0, /*windowOffset=*/0.0);
+    }
+
+    if (opt.analyzeEvery > 0) {
+        const std::string csvPath = opt.analysisDir + "/analysis.csv";
+        int ok = 1;
+        if (isRoot) {
+            // A restarted run continues the existing series in place: rows
+            // after the checkpoint step are dropped, the cadence resumes on
+            // the global step grid — no duplicated or skipped rows.
+            try {
+                if (!opt.restart.empty())
+                    pipeline.resumeCsv(csvPath, solver.stepsDone());
+                else
+                    pipeline.createCsv(csvPath);
+                std::printf("analysis: every %d steps -> %s\n",
+                            opt.analyzeEvery, csvPath.c_str());
+            } catch (const io::CsvError& e) {
+                // Print here (only root knows the cause), then fail the
+                // collective agreement below so every rank throws.
+                std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                ok = 0;
+            }
+        }
+        // Collective agreement: a root-only failure (unwritable directory,
+        // read-only or incompatible series file) must abort *all* ranks —
+        // otherwise the healthy ranks block forever in the next collective
+        // sample waiting for the dead root.
+        if (comm && comm->size() > 1) ok = comm->bcast(ok);
+        if (!ok)
+            throw io::CsvError("analysis CSV setup failed on the root rank "
+                               "(see the message above)");
+        pipeline.attach(solver, opt.analyzeEvery);
+        // Fresh runs record the initial state; restarts already have it.
+        if (opt.restart.empty()) pipeline.sample(solver, solver.stepsDone());
     }
 
     report(solver, isRoot); // collective: all ranks participate
@@ -225,6 +288,15 @@ int main(int argc, char** argv) {
         "resume from this checkpoint directory (skips scenario init; pass "
         "the same --size/--ranks/--block and physics flags as the original "
         "run; --steps counts the additional steps)");
+    opt.analyzeEvery =
+        cli.getInt("analyze", 0,
+                   "steps between in-situ analysis samples streamed to "
+                   "<analysis-dir>/analysis.csv (0: off)");
+    const std::string analysisDir = cli.getString(
+        "analysis-dir", "", "analysis CSV directory (default: --out)");
+    const std::string observerList = cli.getString(
+        "analysis-observers", "fractions,lamellae,correlation",
+        "comma-separated observers to run (fractions, lamellae, correlation)");
     opt.outdir = cli.getString("out", "tpf_output", "output directory");
     const std::string overlap = cli.getString(
         "overlap", "mu", "communication hiding: none, mu, phi, both");
@@ -356,6 +428,73 @@ int main(int argc, char** argv) {
         }
     }
 
+    opt.analysisDir = analysisDir.empty() ? opt.outdir : analysisDir;
+    opt.observers = splitObserverList(observerList);
+    if (opt.analyzeEvery < 0) {
+        std::fprintf(stderr, "--analyze must be >= 0\n");
+        return 2;
+    }
+    if (opt.analyzeEvery > 0) {
+        if (opt.observers.empty()) {
+            std::fprintf(stderr, "--analysis-observers is empty\n");
+            return 2;
+        }
+        for (const auto& name : opt.observers) {
+            if (analysis::makeObserver(name) == nullptr) {
+                std::fprintf(stderr,
+                             "unknown observer '%s' (fractions, lamellae, "
+                             "correlation)\n",
+                             name.c_str());
+                return 2;
+            }
+        }
+        if (!opt.restart.empty()) {
+            // Fail fast (before spawning ranks) when the existing series
+            // cannot be continued — a throw on the root rank mid-run would
+            // leave the other ranks blocked in the collective sample.
+            const std::string csvPath = opt.analysisDir + "/analysis.csv";
+            if (std::filesystem::exists(csvPath)) {
+                analysis::Pipeline probe;
+                for (const auto& name : opt.observers)
+                    probe.add(analysis::makeObserver(name));
+                try {
+                    const io::CsvSeries series = io::readCsvSeries(csvPath);
+                    const std::string schema =
+                        std::string("# ") + analysis::kAnalysisCsvTag + " v" +
+                        std::to_string(analysis::kAnalysisCsvVersion);
+                    if (series.schema != schema) {
+                        std::fprintf(stderr,
+                                     "tpf-sim: %s carries schema '%s' but "
+                                     "this build writes '%s'; move the "
+                                     "series aside or use a fresh "
+                                     "--analysis-dir\n",
+                                     csvPath.c_str(), series.schema.c_str(),
+                                     schema.c_str());
+                        return 2;
+                    }
+                    std::string header = "step";
+                    for (const auto& c : probe.columns()) header += "," + c;
+                    std::string existing;
+                    for (const auto& c : series.columns)
+                        existing += (existing.empty() ? "" : ",") + c;
+                    if (existing != header) {
+                        std::fprintf(stderr,
+                                     "tpf-sim: %s has columns\n  %s\nbut the "
+                                     "configured observers produce\n  %s\n"
+                                     "pass the original --analysis-observers "
+                                     "or a fresh --analysis-dir\n",
+                                     csvPath.c_str(), existing.c_str(),
+                                     header.c_str());
+                        return 2;
+                    }
+                } catch (const io::CsvError& e) {
+                    std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                    return 2;
+                }
+            }
+        }
+    }
+
     std::filesystem::create_directories(opt.outdir);
 
     std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, "
@@ -376,6 +515,9 @@ int main(int argc, char** argv) {
     } catch (const io::CheckpointError& e) {
         // Raised collectively on every rank (no hung collectives) and
         // rethrown once on this thread by runParallel.
+        std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+        return 1;
+    } catch (const io::CsvError& e) {
         std::fprintf(stderr, "tpf-sim: %s\n", e.what());
         return 1;
     }

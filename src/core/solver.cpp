@@ -172,6 +172,15 @@ void Solver::buildTimeloop() {
     });
 }
 
+void Solver::addPostStepHook(const std::string& name,
+                             std::function<void(long long)> fn) {
+    // buildTimeloop() ran in the constructor, so appended functors execute
+    // after "swap": the hook observes the post-step source fields. The
+    // timeloop's step counter increments after the functor sequence, hence
+    // the +1 to report the step being completed.
+    loop_.add(name, [this, fn = std::move(fn)] { fn(loop_.steps() + 1); });
+}
+
 void Solver::communicateAll() {
     // Synchronize the *source* fields (initialization / post-shift): use
     // temporary exchanges bound to the src fields with distinct tag slots.
@@ -220,8 +229,20 @@ void Solver::maybeShiftWindow() {
 
     const double trigger = cfg_.window.triggerFraction * cfg_.globalCells.z;
     int shifts = 0;
+    bool synced = false;
     while (front >= 0 && static_cast<double>(front - shifts) > trigger &&
            shifts < cfg_.globalCells.z / 4) {
+        if (!synced) {
+            // The shift reads the z+1 ghosts of the *source* fields. phiSrc
+            // ghosts are valid here (last step ended with the phi exchange +
+            // swap), but in mu-overlap mode muSrc is exchanged at the START
+            // of a step — after this functor — so its ghosts are one step
+            // stale at block interfaces. Serial runs have no z-interface and
+            // never read them; without this refresh, multi-rank shifted
+            // fields diverge from the serial ones at the interface plane.
+            communicateAll();
+            synced = true;
+        }
         for (auto& b : blocks_) shiftDownOneCell(*b, bf_, sys_, pool_.get());
         windowOffset_ += 1.0;
         ++shifts;

@@ -108,6 +108,18 @@ public:
     /// automatically every window.checkEvery steps when enabled).
     void maybeShiftWindow();
 
+    /// Register a named functor that runs at the end of every time step,
+    /// after the ping-pong swap — it sees the completed step's phiSrc/muSrc
+    /// and the already-advanced time(). \p fn receives the global
+    /// completed-step count *including* the step just finished, so cadences
+    /// keyed on it resume correctly across a checkpoint restart (the counter
+    /// is restored by restore()). In multi-rank runs every rank must
+    /// register the same hooks in the same order; a hook performing
+    /// collectives (e.g. the in-situ analysis pipeline) relies on that. The
+    /// callee must outlive the solver's stepping.
+    void addPostStepHook(const std::string& name,
+                         std::function<void(long long)> fn);
+
 private:
     void buildTimeloop();
     void communicateAll(); ///< full ghost sync + boundary handling of src fields

@@ -166,6 +166,21 @@ std::vector<double> Comm::gather(double v) {
     return {};
 }
 
+std::vector<std::vector<std::byte>>
+Comm::gatherAllBytes(const std::vector<std::byte>& mine) {
+    constexpr int tagGatherBytes = kInternalTagBase - 7;
+    if (rank_ == 0) {
+        std::vector<std::vector<std::byte>> all(
+            static_cast<std::size_t>(size_));
+        all[0] = mine;
+        for (int r = 1; r < size_; ++r)
+            recv(r, tagGatherBytes, all[static_cast<std::size_t>(r)]);
+        return all;
+    }
+    send(0, tagGatherBytes, mine.data(), mine.size());
+    return {};
+}
+
 void Comm::bcastBytes(void* data, std::size_t bytes) {
     constexpr int tagBcast = kInternalTagBase - 6;
     if (rank_ == 0) {

@@ -119,6 +119,13 @@ public:
     /// Gather one double per rank to root (rank 0); non-roots get empty vector.
     std::vector<double> gather(double v);
 
+    /// Gather a variable-length byte blob from every rank to root, returned
+    /// indexed by rank; non-roots get an empty outer vector. Collective.
+    /// Used by the in-situ analysis pipeline to assemble global x-y planes
+    /// from per-rank tile sweeps (src/analysis/gather.h).
+    std::vector<std::vector<std::byte>>
+    gatherAllBytes(const std::vector<std::byte>& mine);
+
     /// Broadcast a trivially copyable value from root.
     template <typename T>
     T bcast(T v) {

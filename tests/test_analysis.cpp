@@ -165,6 +165,117 @@ TEST(Lamellae, DetectsSplitAndMergeAlongZ) {
     EXPECT_GE(st.merges, 1);
 }
 
+// --- edge-case properties of the labeling/spacing primitives -------------
+// (these feed the in-situ observer pipeline, so degenerate slices must be
+// handled, not asserted away)
+
+/// Build an indicator plane from a lambda.
+template <typename Fn>
+std::vector<unsigned char> makePlane(int nx, int ny, Fn in) {
+    std::vector<unsigned char> ind(static_cast<std::size_t>(nx) * ny, 0);
+    for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+            ind[static_cast<std::size_t>(y) * nx + x] = in(x, y) ? 1 : 0;
+    return ind;
+}
+
+TEST(LamellaeEdgeCases, EmptySliceHasNoComponents) {
+    const auto ind = makePlane(8, 8, [](int, int) { return false; });
+    const auto labels = labelPlane(ind.data(), 8, 8);
+    EXPECT_EQ(labels.count, 0);
+    for (int l : labels.label) EXPECT_EQ(l, -1);
+}
+
+TEST(LamellaeEdgeCases, FullSliceIsOneComponent) {
+    const auto ind = makePlane(8, 8, [](int, int) { return true; });
+    const auto labels = labelPlane(ind.data(), 8, 8);
+    EXPECT_EQ(labels.count, 1);
+    for (int l : labels.label) EXPECT_EQ(l, 0);
+}
+
+TEST(LamellaeEdgeCases, SingleCellComponents) {
+    // Isolated cells, including one at the corner whose periodic neighbors
+    // are empty: each is its own component.
+    const auto ind = makePlane(9, 9, [](int x, int y) {
+        return (x == 0 && y == 0) || (x == 4 && y == 4) || (x == 7 && y == 2);
+    });
+    const auto labels = labelPlane(ind.data(), 9, 9);
+    EXPECT_EQ(labels.count, 3);
+}
+
+TEST(LamellaeEdgeCases, StripeWrappingBothPeriodicEdges) {
+    // A cross of one x-row and one y-column, each closing on itself through
+    // the periodic boundary in *both* directions: one component, even
+    // though the scan meets it in four disconnected-looking pieces.
+    const auto ind =
+        makePlane(10, 10, [](int x, int y) { return x == 0 || y == 0; });
+    const auto labels = labelPlane(ind.data(), 10, 10);
+    EXPECT_EQ(labels.count, 1);
+}
+
+TEST(LamellaeEdgeCases, SingleSliceStackHasNoTransitions) {
+    std::vector<std::vector<unsigned char>> planes{
+        makePlane(6, 6, [](int x, int) { return x < 3; })};
+    const auto st = analyzeLamellaePlanes(planes, 6, 6);
+    ASSERT_EQ(st.countPerSlice.size(), 1u);
+    EXPECT_EQ(st.countPerSlice[0], 1);
+    EXPECT_EQ(st.splits + st.merges + st.appears + st.vanishes, 0);
+}
+
+TEST(LamellaeEdgeCases, EmptyStackYieldsZeroStats) {
+    const auto st = analyzeLamellaePlanes({}, 6, 6);
+    EXPECT_TRUE(st.countPerSlice.empty());
+    EXPECT_EQ(st.splits + st.merges + st.appears + st.vanishes, 0);
+}
+
+TEST(LamellaeEdgeCases, AppearAndVanishBetweenEmptyAndFullSlices) {
+    std::vector<std::vector<unsigned char>> planes{
+        makePlane(6, 6, [](int, int) { return false; }),
+        makePlane(6, 6, [](int x, int) { return x < 2; }), // appears
+        makePlane(6, 6, [](int, int) { return false; }),   // vanishes
+    };
+    const auto st = analyzeLamellaePlanes(planes, 6, 6);
+    EXPECT_EQ(st.appears, 1);
+    EXPECT_EQ(st.vanishes, 1);
+    EXPECT_EQ(st.splits, 0);
+    EXPECT_EQ(st.merges, 0);
+}
+
+TEST(SpacingEstimate, MonotoneAndConstantProfilesHaveNoEstimate) {
+    // The header contract: 0 means "no estimate", returned for profiles
+    // that never complete the descend-then-ascend pattern.
+    EXPECT_EQ(lamellarSpacingEstimate({0.5, 0.4, 0.3, 0.2, 0.1}), 0.0);
+    EXPECT_EQ(lamellarSpacingEstimate({0.1, 0.2, 0.3, 0.4, 0.5}), 0.0);
+    EXPECT_EQ(lamellarSpacingEstimate({0.3, 0.3, 0.3, 0.3, 0.3}), 0.0);
+    EXPECT_EQ(lamellarSpacingEstimate({}), 0.0);
+    EXPECT_EQ(lamellarSpacingEstimate({0.5}), 0.0);
+    EXPECT_EQ(lamellarSpacingEstimate({0.5, 0.2}), 0.0);
+}
+
+TEST(SpacingEstimate, FindsTheFirstMaximumAfterTheFirstMinimum) {
+    // Clean oscillation: minimum at r=2, next maximum at r=4.
+    EXPECT_EQ(lamellarSpacingEstimate({0.5, 0.3, 0.1, 0.3, 0.5, 0.3}), 4.0);
+    // Descend ending at the tail (maximum only at the boundary): no
+    // *interior* maximum, still an estimate of the ascent's end? No — the
+    // ascent must terminate before the end to count as a maximum.
+    EXPECT_EQ(lamellarSpacingEstimate({0.5, 0.3, 0.1, 0.3, 0.5}), 0.0);
+}
+
+TEST(LamellaeEdgeCases, FieldWrappersMatchPlaneCore) {
+    // labelSlice/analyzeLamellae are thin wrappers over the plane core; a
+    // stripe block must give identical answers through both entries.
+    auto b = makeLamellar(12, {36, 36, 8}, 8);
+    const auto viaField = labelSlice(b.phiSrc, 0, 3);
+    std::vector<unsigned char> ind(36 * 36);
+    for (int y = 0; y < 36; ++y)
+        for (int x = 0; x < 36; ++x)
+            ind[static_cast<std::size_t>(y) * 36 + x] =
+                b.phiSrc(x, y, 3, 0) > 0.5 ? 1 : 0;
+    const auto viaPlane = labelPlane(ind.data(), 36, 36);
+    EXPECT_EQ(viaField.count, viaPlane.count);
+    EXPECT_EQ(viaField.label, viaPlane.label);
+}
+
 TEST(Lamellae, RealSimulationHasThreePhaseLamellae) {
     // Voronoi-initialized solid region: each solid phase forms a plausible
     // number of lamellae (not 0, not the whole plane).

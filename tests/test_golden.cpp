@@ -26,9 +26,11 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/observers.h"
 #include "core/regions.h"
 #include "core/solver.h"
 #include "io/checkpoint.h"
+#include "io/csv_writer.h"
 
 #ifndef TPF_GOLDEN_DIR
 #error "TPF_GOLDEN_DIR must point at the committed tests/golden directory"
@@ -55,9 +57,11 @@ core::SolverConfig goldenConfig() {
 }
 
 constexpr int kGoldenSteps = 12;
+/// Time-series cadence: rows at steps 0, 3, 6, 9, 12.
+constexpr int kGoldenAnalyzeEvery = 3;
 
-/// Run the pinned scenario to its checkpoint state.
-void runScenario(const std::string& name, core::Solver& solver) {
+/// Initialize the pinned scenario (fields + clocks, no steps yet).
+void initScenario(const std::string& name, core::Solver& solver) {
     if (name == "solidify") {
         solver.initialize(); // Voronoi-seeded melt, fixed RNG seed
     } else {
@@ -69,6 +73,11 @@ void runScenario(const std::string& name, core::Solver& solver) {
                                solver.config().model.eps);
         solver.restore(/*time=*/0.0, /*windowOffset=*/0.0);
     }
+}
+
+/// Run the pinned scenario to its checkpoint state.
+void runScenario(const std::string& name, core::Solver& solver) {
+    initScenario(name, solver);
     solver.run(kGoldenSteps);
 }
 
@@ -108,6 +117,79 @@ TEST(GoldenRun, Solidify) { checkScenario("solidify"); }
 TEST(GoldenRun, Interface) { checkScenario("interface"); }
 TEST(GoldenRun, Liquid) { checkScenario("liquid"); }
 TEST(GoldenRun, Solid) { checkScenario("solid"); }
+
+/// Golden analysis time series: re-run the pinned scenario with the full
+/// observer pipeline sampling every kGoldenAnalyzeEvery steps and compare
+/// the CSV cell-by-cell against the committed reference. Every observer
+/// value is pure IEEE-754 arithmetic on the (machine-independent) fields in
+/// a fixed order, and %.17g round-trips doubles exactly, so the references
+/// reproduce bitwise across machines and build types.
+void checkTimeSeries(const std::string& name) {
+    const fs::path goldenCsv =
+        fs::path(TPF_GOLDEN_DIR) / name / "analysis.csv";
+
+    core::Solver solver(goldenConfig());
+    analysis::Pipeline pipeline;
+    for (const auto& n : analysis::observerNames())
+        pipeline.add(analysis::makeObserver(n));
+
+    const bool regen = std::getenv("TPF_REGEN_GOLDENS") != nullptr;
+    const fs::path freshCsv =
+        regen ? goldenCsv
+              : fs::temp_directory_path() / ("tpf_golden_series_" + name +
+                                             ".csv");
+    if (!regen) fs::remove(freshCsv);
+
+    pipeline.createCsv(freshCsv.string());
+    pipeline.attach(solver, kGoldenAnalyzeEvery);
+    initScenario(name, solver);
+    pipeline.sample(solver, 0);
+    solver.run(kGoldenSteps);
+
+    if (regen) GTEST_SKIP() << "regenerated golden series " << goldenCsv;
+
+    ASSERT_TRUE(fs::exists(goldenCsv))
+        << "missing committed golden series " << goldenCsv
+        << " — run with TPF_REGEN_GOLDENS=1 and commit tests/golden/";
+
+    const io::CsvDiff d =
+        io::compareCsvSeries(goldenCsv.string(), freshCsv.string());
+    EXPECT_TRUE(d.identical)
+        << "scenario '" << name
+        << "' analysis series diverged from the committed reference.\n  "
+        << d.message
+        << "\n  If this change to the numerics or the observer set is "
+           "intentional, regenerate with TPF_REGEN_GOLDENS=1 "
+           "./tests/test_golden and commit tests/golden/.";
+    fs::remove(freshCsv);
+}
+
+TEST(GoldenTimeSeries, Solidify) { checkTimeSeries("solidify"); }
+TEST(GoldenTimeSeries, Interface) { checkTimeSeries("interface"); }
+TEST(GoldenTimeSeries, Liquid) { checkTimeSeries("liquid"); }
+TEST(GoldenTimeSeries, Solid) { checkTimeSeries("solid"); }
+
+/// A perturbed series must be pointed at precisely: step, column and both
+/// cell values of the first divergence.
+TEST(GoldenTimeSeries, DivergenceIsReportedWithStepAndColumn) {
+    const fs::path a = fs::temp_directory_path() / "tpf_series_diff_a.csv";
+    const fs::path b = fs::temp_directory_path() / "tpf_series_diff_b.csv";
+    for (const fs::path& p : {a, b}) {
+        io::CsvWriter w;
+        w.create(p.string(), analysis::kAnalysisCsvTag,
+                 analysis::kAnalysisCsvVersion, {"time", "front_z"});
+        w.writeRow(0, {0.0, 4.0});
+        w.writeRow(3, {0.03, p == b ? 5.0 : 4.0});
+    }
+    const io::CsvDiff d = io::compareCsvSeries(a.string(), b.string());
+    EXPECT_FALSE(d.identical);
+    EXPECT_NE(d.message.find("step 3"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("'front_z'"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("4"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("5"), std::string::npos) << d.message;
+    fs::remove(a);
+    fs::remove(b);
+}
 
 /// Corrupting a committed reference must be reported as corruption of that
 /// field (CRC), not as a plausible numeric difference.

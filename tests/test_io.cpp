@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "io/checkpoint.h"
+#include "io/csv_writer.h"
 #include "io/writers.h"
 
 namespace tpf::io {
@@ -378,6 +379,124 @@ TEST(Writers, VtkFieldContainsHeaderAndData) {
     EXPECT_NE(content.find("SCALARS phi0"), std::string::npos);
     EXPECT_NE(content.find("SCALARS phi1"), std::string::npos);
     EXPECT_NE(content.find("1.25"), std::string::npos);
+}
+
+// --- CSV time-series writer (the analysis pipeline's output format) ------
+
+TEST(CsvWriter, CreateWriteReadRoundTrip) {
+    TempDir dir;
+    const std::string path = (dir.path / "series.csv").string();
+    CsvWriter w;
+    w.create(path, "tpf-analysis", 1, {"time", "front_z"});
+    w.writeRow(0, {0.0, 4.0});
+    w.writeRow(4, {0.04, 5.0});
+    w.close();
+
+    const CsvSeries s = readCsvSeries(path);
+    EXPECT_EQ(s.schema, "# tpf-analysis v1");
+    ASSERT_EQ(s.columns,
+              (std::vector<std::string>{"step", "time", "front_z"}));
+    ASSERT_EQ(s.rows.size(), 2u);
+    EXPECT_EQ(s.stepOf(0), 0);
+    EXPECT_EQ(s.stepOf(1), 4);
+    EXPECT_EQ(s.rows[1][2], "5");
+}
+
+TEST(CsvWriter, ValuesRoundTripDoublesExactly) {
+    TempDir dir;
+    const std::string path = (dir.path / "series.csv").string();
+    const double v = 0.1 + 0.2; // 0.30000000000000004
+    CsvWriter w;
+    w.create(path, "tpf-analysis", 1, {"v"});
+    w.writeRow(0, {v});
+    w.close();
+
+    const CsvSeries s = readCsvSeries(path);
+    EXPECT_EQ(std::stod(s.rows[0][1]), v) << s.rows[0][1];
+}
+
+TEST(CsvWriter, ResumeKeepsRowsUpToTheCheckpointStep) {
+    TempDir dir;
+    const std::string path = (dir.path / "series.csv").string();
+    {
+        CsvWriter w;
+        w.create(path, "tpf-analysis", 1, {"v"});
+        w.writeRow(0, {1.0});
+        w.writeRow(4, {2.0});
+        w.writeRow(8, {3.0}); // the run outlived its step-4 checkpoint
+    }
+    CsvWriter w;
+    w.resume(path, "tpf-analysis", 1, {"v"}, /*lastStep=*/4);
+    w.writeRow(8, {30.0}); // the continuation re-samples step 8
+    w.close();
+
+    const CsvSeries s = readCsvSeries(path);
+    ASSERT_EQ(s.rows.size(), 3u);
+    EXPECT_EQ(s.rows[1][1], "2");
+    EXPECT_EQ(s.rows[2][1], "30");
+}
+
+TEST(CsvWriter, ResumeRejectsSchemaAndColumnMismatches) {
+    TempDir dir;
+    const std::string path = (dir.path / "series.csv").string();
+    {
+        CsvWriter w;
+        w.create(path, "tpf-analysis", 1, {"v"});
+        w.writeRow(0, {1.0});
+    }
+    CsvWriter w;
+    EXPECT_THROW(w.resume(path, "tpf-analysis", 2, {"v"}, 0), CsvError);
+    EXPECT_THROW(w.resume(path, "tpf-analysis", 1, {"other"}, 0), CsvError);
+}
+
+TEST(CsvWriter, ResumeOfMissingFileStartsAFreshSeries) {
+    TempDir dir;
+    const std::string path = (dir.path / "series.csv").string();
+    CsvWriter w;
+    w.resume(path, "tpf-analysis", 1, {"v"}, /*lastStep=*/8);
+    w.writeRow(12, {1.0});
+    w.close();
+    const CsvSeries s = readCsvSeries(path);
+    ASSERT_EQ(s.rows.size(), 1u);
+    EXPECT_EQ(s.stepOf(0), 12);
+}
+
+TEST(CsvWriter, CompareSeriesReportsStructuralMismatches) {
+    TempDir dir;
+    const std::string a = (dir.path / "a.csv").string();
+    const std::string b = (dir.path / "b.csv").string();
+    {
+        CsvWriter w;
+        w.create(a, "tpf-analysis", 1, {"v"});
+        w.writeRow(0, {1.0});
+        CsvWriter w2;
+        w2.create(b, "tpf-analysis", 1, {"v"});
+        w2.writeRow(0, {1.0});
+        w2.writeRow(4, {2.0});
+    }
+    const CsvDiff d = compareCsvSeries(a, b);
+    EXPECT_FALSE(d.identical);
+    EXPECT_NE(d.message.find("row count mismatch"), std::string::npos)
+        << d.message;
+
+    const CsvDiff same = compareCsvSeries(a, a);
+    EXPECT_TRUE(same.identical);
+}
+
+TEST(CsvWriter, ReaderRejectsMalformedFiles) {
+    TempDir dir;
+    const std::string path = (dir.path / "bad.csv").string();
+    {
+        std::ofstream out(path);
+        out << "step,v\n0,1\n"; // no schema line
+    }
+    EXPECT_THROW(readCsvSeries(path), CsvError);
+    {
+        std::ofstream out(path);
+        out << "# tpf-analysis v1\nstep,v\n0,1,2\n"; // ragged row
+    }
+    EXPECT_THROW(readCsvSeries(path), CsvError);
+    EXPECT_THROW(readCsvSeries((dir.path / "absent.csv").string()), CsvError);
 }
 
 } // namespace

@@ -14,8 +14,10 @@
 #include <string>
 #include <unistd.h>
 
+#include "analysis/observers.h"
 #include "core/solver.h"
 #include "io/checkpoint.h"
+#include "io/csv_writer.h"
 
 namespace tpf {
 namespace {
@@ -176,6 +178,75 @@ TEST(RestartEquivalence, WindowStateSurvivesRoundTrip) {
         EXPECT_GE(savedFront, 0);
         EXPECT_EQ(savedSteps, 10);
         EXPECT_NEAR(savedTime, 10 * cfg.model.dt, 1e-12);
+    }
+}
+
+/// Analysis-series continuity across a restart: N steps + restart + N more
+/// must produce byte-for-byte the CSV an uninterrupted 2N-step run writes —
+/// the restarted pipeline resumes the existing file (dropping nothing here:
+/// the checkpoint is the last sampled step) and the cadence stays on the
+/// global step grid.
+TEST(RestartEquivalence, AnalysisSeriesContinuesAcrossRestart) {
+    for (const int ranks : {1, 2}) {
+        SCOPED_TRACE("ranks=" + std::to_string(ranks));
+        TempDir dir("series_r" + std::to_string(ranks));
+        const std::string straightCsv = (dir.path / "straight.csv").string();
+        const std::string splitCsv = (dir.path / "split.csv").string();
+        const std::string mid = (dir.path / "mid").string();
+
+        const core::SolverConfig cfg = windowConfig(ranks, /*threads=*/1);
+        constexpr int kEvery = 4;
+        constexpr int kStepsN = 12;
+
+        auto makePipeline = [] {
+            analysis::Pipeline p;
+            for (const auto& n : analysis::observerNames())
+                p.add(analysis::makeObserver(n));
+            return p;
+        };
+
+        auto body = [&](vmpi::Comm* comm) {
+            const bool isRoot = !comm || comm->isRoot();
+
+            // Straight reference: 2N uninterrupted steps, one series.
+            core::Solver a(cfg, comm);
+            analysis::Pipeline pa = makePipeline();
+            if (isRoot) pa.createCsv(straightCsv);
+            pa.attach(a, kEvery);
+            a.initialize();
+            pa.sample(a, 0);
+            a.run(2 * kStepsN);
+
+            // Split run: N steps into the same kind of series, checkpoint,
+            // then a fresh solver + pipeline resumes both.
+            core::Solver b(cfg, comm);
+            analysis::Pipeline pb = makePipeline();
+            if (isRoot) pb.createCsv(splitCsv);
+            pb.attach(b, kEvery);
+            b.initialize();
+            pb.sample(b, 0);
+            b.run(kStepsN);
+            io::saveCheckpoint(mid, b);
+
+            core::Solver c(cfg, comm);
+            io::loadCheckpoint(mid, c);
+            analysis::Pipeline pc = makePipeline();
+            if (isRoot) pc.resumeCsv(splitCsv, c.stepsDone());
+            pc.attach(c, kEvery);
+            c.run(kStepsN);
+        };
+        if (ranks == 1)
+            body(nullptr);
+        else
+            vmpi::runParallel(ranks, [&](vmpi::Comm& comm) { body(&comm); });
+
+        const io::CsvSeries straight = io::readCsvSeries(straightCsv);
+        ASSERT_EQ(straight.rows.size(), 7u); // steps 0,4,...,24
+        EXPECT_GT(std::stod(straight.rows.back()[2]), 0.0)
+            << "no window shift during the run — the scenario is too tame";
+
+        EXPECT_EQ(readAll(straightCsv), readAll(splitCsv))
+            << io::compareCsvSeries(straightCsv, splitCsv).message;
     }
 }
 
