@@ -13,7 +13,8 @@ endif()
 
 set(checked_docs
     "${REPO_ROOT}/docs/ARCHITECTURE.md"
-    "${REPO_ROOT}/docs/KERNELS.md")
+    "${REPO_ROOT}/docs/KERNELS.md"
+    "${REPO_ROOT}/docs/CORRECTNESS.md")
 
 set(missing "")
 foreach(doc IN LISTS checked_docs)

@@ -1,0 +1,99 @@
+# Sanitizer matrix configuration (docs/CORRECTNESS.md).
+#
+# TPF_SANITIZE is a comma- or semicolon-separated subset of
+#     address | undefined | thread | leak
+# e.g. -DTPF_SANITIZE=address,undefined (the ASan+UBSan CI job) or
+#      -DTPF_SANITIZE=thread            (the TSan CI job).
+#
+# This module validates the combination, computes
+#   TPF_SANITIZER_FLAGS     compile+link flags, applied at directory scope in
+#                           the top-level CMakeLists so EVERY target (library,
+#                           tests, benches, examples, CLIs) is instrumented —
+#                           TSan in particular is unsound when only part of
+#                           the program is built with it
+#   TPF_SANITIZER_TEST_ENV  ENVIRONMENT entries attached to every ctest, so
+#                           the per-sanitizer suppression files in this
+#                           directory and the failure-log location apply
+#                           without the caller having to export anything
+# and fails the configure with a pointed message for impossible combinations.
+
+set(_tpf_san_dir ${CMAKE_CURRENT_LIST_DIR})
+
+set(TPF_SANITIZER_FLAGS "")
+set(TPF_SANITIZER_TEST_ENV "")
+
+# Where sanitizer runtimes write reports (log_path). CI uploads this
+# directory as an artifact when a matrix job fails.
+set(TPF_SANITIZER_LOG_DIR "${CMAKE_BINARY_DIR}/sanitizer-logs"
+    CACHE PATH "Directory sanitizer runtime reports are written into")
+
+if(TPF_SANITIZE)
+    # PR 1 spelled this as a boolean option; keep the old spelling working.
+    if(TPF_SANITIZE STREQUAL "ON" OR TPF_SANITIZE STREQUAL "TRUE" OR
+       TPF_SANITIZE STREQUAL "1")
+        message(STATUS "tpf: TPF_SANITIZE=${TPF_SANITIZE} is the legacy "
+            "boolean spelling; interpreting as TPF_SANITIZE=address,undefined")
+        set(TPF_SANITIZE "address,undefined")
+    endif()
+
+    string(REPLACE "," ";" _tpf_san_list "${TPF_SANITIZE}")
+    list(REMOVE_DUPLICATES _tpf_san_list)
+
+    foreach(_s IN LISTS _tpf_san_list)
+        if(NOT _s MATCHES "^(address|undefined|thread|leak)$")
+            message(FATAL_ERROR
+                "TPF_SANITIZE=${TPF_SANITIZE}: unknown sanitizer '${_s}'.\n"
+                "Valid values are comma-separated subsets of: "
+                "address, undefined, thread, leak.")
+        endif()
+    endforeach()
+
+    # ThreadSanitizer owns the whole shadow-memory layout; it cannot coexist
+    # with ASan/LSan in one process. Catch it at configure time instead of
+    # letting the compiler driver error out mid-build.
+    if("thread" IN_LIST _tpf_san_list)
+        foreach(_incompat address leak)
+            if("${_incompat}" IN_LIST _tpf_san_list)
+                message(FATAL_ERROR
+                    "TPF_SANITIZE=${TPF_SANITIZE}: 'thread' and '${_incompat}' "
+                    "are mutually exclusive (TSan and ASan/LSan each claim the "
+                    "process' shadow memory).\n"
+                    "Configure two build trees instead, the way CI does:\n"
+                    "  cmake -B build-asan -DTPF_SANITIZE=address,undefined\n"
+                    "  cmake -B build-tsan -DTPF_SANITIZE=thread")
+            endif()
+        endforeach()
+    endif()
+
+    list(JOIN _tpf_san_list "," _tpf_san_joined)
+    list(APPEND TPF_SANITIZER_FLAGS
+        -fsanitize=${_tpf_san_joined} -fno-omit-frame-pointer -g)
+
+    # GCC's -Wmaybe-uninitialized dataflow analysis runs AFTER sanitizer
+    # instrumentation rewrites the IR and then false-positives inside
+    # libstdc++ internals (e.g. std::regex's NFA under ASan at -O2, GCC 12).
+    # The warning stays fully active in the non-sanitizer configurations,
+    # which see the same code; losing it here costs nothing.
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+        list(APPEND TPF_SANITIZER_FLAGS -Wno-maybe-uninitialized)
+    endif()
+
+    file(MAKE_DIRECTORY ${TPF_SANITIZER_LOG_DIR})
+
+    if("address" IN_LIST _tpf_san_list)
+        list(APPEND TPF_SANITIZER_TEST_ENV
+            "ASAN_OPTIONS=suppressions=${_tpf_san_dir}/asan.supp:detect_stack_use_after_return=1:check_initialization_order=1:log_path=${TPF_SANITIZER_LOG_DIR}/asan"
+            "LSAN_OPTIONS=suppressions=${_tpf_san_dir}/lsan.supp")
+    endif()
+    if("undefined" IN_LIST _tpf_san_list)
+        # Without -fno-sanitize-recover UBSan prints and continues with exit
+        # code 0, which a CI gate would never notice.
+        list(APPEND TPF_SANITIZER_FLAGS -fno-sanitize-recover=undefined)
+        list(APPEND TPF_SANITIZER_TEST_ENV
+            "UBSAN_OPTIONS=suppressions=${_tpf_san_dir}/ubsan.supp:print_stacktrace=1:log_path=${TPF_SANITIZER_LOG_DIR}/ubsan")
+    endif()
+    if("thread" IN_LIST _tpf_san_list)
+        list(APPEND TPF_SANITIZER_TEST_ENV
+            "TSAN_OPTIONS=suppressions=${_tpf_san_dir}/tsan.supp:second_deadlock_stack=1:log_path=${TPF_SANITIZER_LOG_DIR}/tsan")
+    endif()
+endif()

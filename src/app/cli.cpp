@@ -32,7 +32,11 @@ bool Cli::take(const std::string& name, std::string& value, bool isFlag) {
         if (args_[i] == key) {
             used_[i] = true;
             if (isFlag) {
-                value = "1";
+                // assign() instead of `value = "1"`: GCC 12's -Wrestrict
+                // false-positives on the char* assignment path when inlined
+                // at -O3 (GCC PR 105329), and the warning set is -Werror in
+                // CI.
+                value.assign(1, '1');
                 return true;
             }
             if (i + 1 >= args_.size() || used_[i + 1]) {
@@ -52,7 +56,7 @@ bool Cli::take(const std::string& name, std::string& value, bool isFlag) {
                 if (value == "0" || value == "false" || value == "no" ||
                     value == "off")
                     return false;
-                value = "1";
+                value.assign(1, '1'); // see above: GCC PR 105329 workaround
             }
             return true;
         }

@@ -1,0 +1,159 @@
+/// \file tpf_lint.cpp
+/// CLI driver for the tpf-lint invariant checker (src/lint, see
+/// docs/CORRECTNESS.md).
+///
+///   tpf-lint [options] <file-or-dir>...
+///
+/// Scans the given files (or all *.h/*.hpp/*.cpp/*.cc under the given
+/// directories, recursively, in sorted order so output is deterministic) and
+/// prints one fix-it-style diagnostic per finding:
+///
+///   src/core/foo.cpp:12:9: error: [fastmath] libm sin() in src/core ...
+///     fix-it: use util/fastmath (e.g. tpf::sinpiCompact, ...)
+///
+/// Exit codes: 0 clean, 1 findings, 2 usage/IO error — so it slots directly
+/// into ctest and CI gates.
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void usage(std::FILE* to) {
+    std::fprintf(to,
+                 "usage: tpf-lint [options] <file-or-dir>...\n"
+                 "  --list-rules         print the rule catalog and exit\n"
+                 "  --rule <name>        run only this rule (repeatable)\n"
+                 "  --no-rule <name>     skip this rule (repeatable)\n"
+                 "  --quiet              findings only, no summary line\n"
+                 "  -h, --help           this text\n"
+                 "\nSuppress a finding in source with\n"
+                 "  // tpf-lint: allow(<rule>) -- <reason>\n"
+                 "on the offending line, or on its own line to cover the "
+                 "next line.\n");
+}
+
+bool isSourceFile(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+           ext == ".cxx";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> paths;
+    std::set<std::string> only;
+    std::set<std::string> skip;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto needValue = [&](const char* opt) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "tpf-lint: missing value for %s\n", opt);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "-h" || a == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (a == "--list-rules") {
+            for (const auto& r : tpf::lint::ruleCatalog())
+                std::printf("%-26s %s\n", r.name, r.summary);
+            return 0;
+        } else if (a == "--rule") {
+            only.insert(needValue("--rule"));
+        } else if (a == "--no-rule") {
+            skip.insert(needValue("--no-rule"));
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "tpf-lint: unknown option '%s'\n", a.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    for (const auto& r : only)
+        if (!tpf::lint::isKnownRule(r)) {
+            std::fprintf(stderr, "tpf-lint: unknown rule '%s' (see --list-rules)\n",
+                         r.c_str());
+            return 2;
+        }
+    for (const auto& r : skip)
+        if (!tpf::lint::isKnownRule(r)) {
+            std::fprintf(stderr, "tpf-lint: unknown rule '%s' (see --list-rules)\n",
+                         r.c_str());
+            return 2;
+        }
+
+    // Enabled set: --rule wins; otherwise all minus --no-rule.
+    std::set<std::string> enabled = only;
+    if (enabled.empty() && !skip.empty()) {
+        for (const auto& r : tpf::lint::ruleCatalog())
+            if (!skip.count(r.name)) enabled.insert(r.name);
+        if (enabled.empty()) {
+            std::fprintf(stderr, "tpf-lint: every rule disabled\n");
+            return 2;
+        }
+    }
+
+    // Expand directories; sorted so findings order (and hence CI logs) is
+    // stable across filesystems.
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 it != end && !ec; it.increment(ec))
+                if (it->is_regular_file(ec) && isSourceFile(it->path()))
+                    files.push_back(it->path().generic_string());
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(fs::path(p).generic_string());
+        } else {
+            std::fprintf(stderr, "tpf-lint: cannot read '%s'\n", p.c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::size_t nFindings = 0;
+    for (const std::string& file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "tpf-lint: cannot read '%s'\n", file.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string content = ss.str();
+        for (const auto& fnd : tpf::lint::lintSource(file, content, enabled)) {
+            std::printf("%s\n", tpf::lint::formatFinding(fnd).c_str());
+            ++nFindings;
+        }
+    }
+
+    if (!quiet)
+        std::fprintf(stderr, "tpf-lint: %zu finding(s) in %zu file(s)\n",
+                     nFindings, files.size());
+    return nFindings == 0 ? 0 : 1;
+}

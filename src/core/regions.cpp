@@ -31,8 +31,10 @@ RegionStats classifyBlock(const Field<double>& phi) {
 double estimateBlockCost(const RegionStats& stats) {
     // Relative per-cell costs measured by bench_ablation (shortcut on/off):
     // bulk ~1, solid-solid interface ~2.5, solidification front ~3.5.
-    const double cost = 1.0 * (stats.bulkSolid + stats.bulkLiquid) +
-                        2.5 * stats.interface + 3.5 * stats.front;
+    const double cost =
+        1.0 * static_cast<double>(stats.bulkSolid + stats.bulkLiquid) +
+        2.5 * static_cast<double>(stats.interface) +
+        3.5 * static_cast<double>(stats.front);
     const double cells = static_cast<double>(stats.total());
     return cells > 0.0 ? cost / cells : 1.0;
 }

@@ -9,7 +9,10 @@ namespace tpf::core {
 
 namespace {
 double now() {
+    // tpf-lint: allow(nondeterminism) -- observational wall-clock timing for
+    // the timeloop's per-functor Timing records; never feeds field state.
     using clock = std::chrono::steady_clock;
+    // tpf-lint: allow(nondeterminism) -- same: timing only.
     return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 

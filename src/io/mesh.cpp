@@ -141,6 +141,8 @@ long long TriMesh::eulerCharacteristic() const {
 
 bool TriMesh::isClosed() const {
     if (triangles.empty()) return false;
+    // tpf-lint: allow(unordered-iteration) -- pure all-of predicate; the
+    // result is independent of hash iteration order.
     for (const auto& [edge, count] : edgeUseCounts(*this))
         if (count != 2) return false;
     return true;
@@ -148,6 +150,8 @@ bool TriMesh::isClosed() const {
 
 std::vector<char> TriMesh::openBoundaryVertices() const {
     std::vector<char> flags(vertices.size(), 0);
+    // tpf-lint: allow(unordered-iteration) -- idempotent flag sets; the
+    // resulting vector is independent of hash iteration order.
     for (const auto& [edge, count] : edgeUseCounts(*this)) {
         if (count == 1) {
             flags[static_cast<std::size_t>(edge.a)] = 1;

@@ -114,34 +114,38 @@ std::size_t simplifyMesh(TriMesh& mesh, const SimplifyOptions& opt) {
 
     // --- open-boundary constraint planes + locked-vertex pins ---
     {
-        struct EKey {
-            int a, b;
-            bool operator==(const EKey&) const = default;
-        };
-        struct EHash {
-            std::size_t operator()(const EKey& e) const {
-                return std::hash<long long>()(
-                    (static_cast<long long>(e.a) << 32) ^ e.b);
-            }
-        };
-        std::unordered_map<EKey, std::pair<int, int>, EHash> edgeFace;
+        // Sorted edge list instead of a hash map: the boundary planes below
+        // are accumulated into floating-point quadrics, and accumulation
+        // order must not depend on hash iteration order or the simplified
+        // mesh stops being bitwise reproducible across standard libraries
+        // (tpf-lint: unordered-iteration).
+        std::vector<std::pair<long long, int>> edges; // (packed a<b key, face)
+        edges.reserve(nf * 3);
         for (std::size_t f = 0; f < nf; ++f) {
             const auto& t = mesh.triangles[f];
             for (int e = 0; e < 3; ++e) {
                 int a = t[static_cast<std::size_t>(e)];
                 int b = t[static_cast<std::size_t>((e + 1) % 3)];
                 if (a > b) std::swap(a, b);
-                auto [it, inserted] = edgeFace.try_emplace(
-                    EKey{a, b}, std::make_pair(static_cast<int>(f), 1));
-                if (!inserted) ++it->second.second;
+                edges.emplace_back((static_cast<long long>(a) << 32) | b,
+                                   static_cast<int>(f));
             }
         }
-        for (const auto& [e, fc] : edgeFace) {
-            if (fc.second != 1) continue; // interior edge
+        std::sort(edges.begin(), edges.end());
+        for (std::size_t i = 0; i < edges.size();) {
+            std::size_t j = i + 1;
+            while (j < edges.size() && edges[j].first == edges[i].first) ++j;
+            const bool boundaryEdge = (j - i == 1);
+            const long long key = edges[i].first;
+            const int face = edges[i].second;
+            i = j;
+            if (!boundaryEdge) continue; // interior edge
+            const int ea = static_cast<int>(key >> 32);
+            const int eb = static_cast<int>(key & 0xffffffffLL);
             // Constraint plane through the edge, perpendicular to the face.
-            const auto& t = mesh.triangles[static_cast<std::size_t>(fc.first)];
-            const Vec3& a = mesh.vertices[static_cast<std::size_t>(e.a)];
-            const Vec3& b = mesh.vertices[static_cast<std::size_t>(e.b)];
+            const auto& t = mesh.triangles[static_cast<std::size_t>(face)];
+            const Vec3& a = mesh.vertices[static_cast<std::size_t>(ea)];
+            const Vec3& b = mesh.vertices[static_cast<std::size_t>(eb)];
             const Vec3& fa = mesh.vertices[static_cast<std::size_t>(t[0])];
             const Vec3& fb = mesh.vertices[static_cast<std::size_t>(t[1])];
             const Vec3& fc3 = mesh.vertices[static_cast<std::size_t>(t[2])];
@@ -150,9 +154,9 @@ std::size_t simplifyMesh(TriMesh& mesh, const SimplifyOptions& opt) {
             const double len = n.norm();
             if (len < 1e-300) continue;
             n = n * (1.0 / len);
-            quadrics[static_cast<std::size_t>(e.a)].addPlane(
+            quadrics[static_cast<std::size_t>(ea)].addPlane(
                 n, -n.dot(a), opt.openBoundaryWeight);
-            quadrics[static_cast<std::size_t>(e.b)].addPlane(
+            quadrics[static_cast<std::size_t>(eb)].addPlane(
                 n, -n.dot(b), opt.openBoundaryWeight);
         }
     }
@@ -296,13 +300,19 @@ std::size_t simplifyMesh(TriMesh& mesh, const SimplifyOptions& opt) {
         conn.vertexFaces[v2].clear();
         ++collapses;
 
-        // Refresh candidate edges around the merged vertex.
-        std::unordered_set<int> neighbors;
+        // Refresh candidate edges around the merged vertex. Sorted-unique
+        // vector, not an unordered_set: the push order seeds the collapse
+        // heap, and heap tie-breaking must not inherit hash iteration order
+        // (tpf-lint: unordered-iteration).
+        std::vector<int> neighbors;
         for (int f : conn.vertexFaces[v1]) {
             if (!conn.faceAlive[static_cast<std::size_t>(f)]) continue;
             for (int c : mesh.triangles[static_cast<std::size_t>(f)])
-                if (c != top.v1) neighbors.insert(c);
+                if (c != top.v1) neighbors.push_back(c);
         }
+        std::sort(neighbors.begin(), neighbors.end());
+        neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                        neighbors.end());
         for (int nb : neighbors) pushEdge(top.v1, nb);
     }
 

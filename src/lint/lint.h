@@ -1,0 +1,79 @@
+#pragma once
+/// \file lint.h
+/// tpf-lint: a repo-specific static invariant checker (docs/CORRECTNESS.md).
+///
+/// The determinism contracts this repo runs on — machine-independent goldens,
+/// decomposition/restart bitwise equivalence, deadlock-free collectives — are
+/// invariants of the *source*, not of any one test run: a libm sin() in an
+/// init profile only breaks the goldens on the next glibc, a collective
+/// inside `if (isRoot())` only deadlocks at ranks > 1. tpf-lint enforces
+/// these shapes as named, per-line-suppressible rules so CI catches them at
+/// review time, the way waLBerla relies on generated-code contracts instead
+/// of review-by-eye.
+///
+/// Suppression syntax (parsed from comments):
+///     code();            // tpf-lint: allow(rule-name) -- reason
+/// suppresses `rule-name` on that line. A comment-only line suppresses the
+/// *next* line instead:
+///     // tpf-lint: allow(rule-a, rule-b) -- reason
+///     code();
+/// `allow(*)` suppresses every rule. The reason text is free-form but
+/// expected by convention — a suppression without a why does not survive
+/// review.
+///
+/// The scanner strips comments, string and character literals before rule
+/// matching, so a rule pattern inside a string (for instance in this very
+/// library) is never a finding.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpf::lint {
+
+/// One rule violation, formatted as file:line:col plus a fix-it hint.
+struct Finding {
+    std::string rule;
+    std::string file;
+    int line = 0;   ///< 1-based
+    int column = 0; ///< 1-based
+    std::string message;
+    std::string hint;
+};
+
+struct RuleInfo {
+    const char* name;
+    const char* summary;
+};
+
+/// The catalog of implemented rules, in reporting order.
+const std::vector<RuleInfo>& ruleCatalog();
+bool isKnownRule(std::string_view name);
+
+/// A source file after comment/string stripping and suppression parsing.
+struct ScannedFile {
+    std::string path;              ///< normalized to forward slashes
+    std::vector<std::string> raw;  ///< original lines (index 0 = line 1)
+    std::vector<std::string> code; ///< literals/comments blanked with spaces
+    /// 1-based line -> rule names allowed ("*" = all rules).
+    std::map<int, std::set<std::string>> allows;
+
+    bool allowed(int line, const std::string& rule) const;
+};
+
+ScannedFile scanSource(std::string path, std::string_view content);
+
+/// Run rules over a scanned file. \p enabled empty means all rules.
+std::vector<Finding> lintScanned(const ScannedFile& f,
+                                 const std::set<std::string>& enabled = {});
+
+/// Convenience: scan + lint in one call.
+std::vector<Finding> lintSource(std::string path, std::string_view content,
+                                const std::set<std::string>& enabled = {});
+
+/// "file:line:col: error: [rule] message\n  fix-it: hint"
+std::string formatFinding(const Finding& f);
+
+} // namespace tpf::lint

@@ -1,0 +1,218 @@
+/// \file scanner.cpp
+/// Source preprocessing for tpf-lint: strip comments/string/char literals
+/// (preserving line structure and byte offsets) and parse the
+/// `tpf-lint: allow(...)` suppression comments.
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace tpf::lint {
+
+namespace {
+
+/// Split \p s into lines (without trailing '\n'; a trailing newline does not
+/// create an empty final line).
+std::vector<std::string> splitLines(std::string_view s) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == '\n') {
+            std::string line(s.substr(start, i - start));
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            lines.push_back(std::move(line));
+            start = i + 1;
+        }
+    }
+    if (!lines.empty() && lines.back().empty() && !s.empty() &&
+        s.back() == '\n')
+        lines.pop_back();
+    return lines;
+}
+
+} // namespace
+
+bool ScannedFile::allowed(int line, const std::string& rule) const {
+    const auto it = allows.find(line);
+    if (it == allows.end()) return false;
+    return it->second.count(rule) > 0 || it->second.count("*") > 0;
+}
+
+ScannedFile scanSource(std::string path, std::string_view content) {
+    ScannedFile f;
+    std::replace(path.begin(), path.end(), '\\', '/');
+    f.path = std::move(path);
+
+    // One pass over the bytes. `code` mirrors `content` with every byte of a
+    // comment, string literal or char literal replaced by a space, so rule
+    // regexes see only real code and columns still line up with the source.
+    // `comments` collects comment text per line for suppression parsing.
+    std::string code(content.size(), ' ');
+    std::map<int, std::string> comments;
+
+    enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
+    State st = State::Code;
+    int line = 1;
+    std::string rawDelim; // raw string closing delimiter: ')' + tag + '"'
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        const char c = content[i];
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            code[i] = '\n';
+            if (st == State::LineComment) st = State::Code;
+            ++line;
+            continue;
+        }
+        switch (st) {
+            case State::Code:
+                if (c == '/' && next == '/') {
+                    st = State::LineComment;
+                } else if (c == '/' && next == '*') {
+                    st = State::BlockComment;
+                    ++i; // don't re-read the '*' (guards against "/*/")
+                } else if (c == '"') {
+                    // R"tag( ... )tag" raw string?
+                    std::size_t j = i;
+                    bool raw = false;
+                    if (j > 0 && content[j - 1] == 'R') {
+                        // allow prefixes like u8R", LR"
+                        raw = true;
+                    }
+                    if (raw) {
+                        std::size_t p = content.find('(', i + 1);
+                        if (p != std::string_view::npos && p - i <= 17) {
+                            rawDelim = ")";
+                            rawDelim.append(content.substr(i + 1, p - i - 1));
+                            rawDelim.push_back('"');
+                            st = State::RawStr;
+                        } else {
+                            st = State::Str;
+                        }
+                    } else {
+                        st = State::Str;
+                    }
+                } else if (c == '\'' && i > 0 &&
+                           !(std::isdigit(static_cast<unsigned char>(
+                                 content[i - 1])) ||
+                             (std::isalpha(static_cast<unsigned char>(
+                                  content[i - 1])) &&
+                              content[i - 1] != 'u' && content[i - 1] != 'U' &&
+                              content[i - 1] != 'L'))) {
+                    // A quote after a digit/letter is a C++14 digit separator
+                    // (1'000'000) or part of an identifier-ish token, not a
+                    // char literal. u/U/L prefixes still open one.
+                    st = State::Chr;
+                } else if (c == '\'' && i == 0) {
+                    st = State::Chr;
+                } else {
+                    code[i] = c;
+                }
+                break;
+            case State::LineComment:
+                comments[line].push_back(c);
+                break;
+            case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    st = State::Code;
+                    ++i;
+                } else {
+                    comments[line].push_back(c);
+                }
+                break;
+            case State::Str:
+                if (c == '\\') {
+                    // Skip the escaped char, but keep line accounting exact
+                    // when it is a line continuation.
+                    if (next == '\n') {
+                        code[i + 1] = '\n';
+                        ++line;
+                    }
+                    ++i;
+                } else if (c == '"') {
+                    st = State::Code;
+                }
+                break;
+            case State::Chr:
+                if (c == '\\') {
+                    if (next == '\n') {
+                        code[i + 1] = '\n';
+                        ++line;
+                    }
+                    ++i;
+                } else if (c == '\'') {
+                    st = State::Code;
+                }
+                break;
+            case State::RawStr:
+                if (c == ')' &&
+                    content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                    i += rawDelim.size() - 1;
+                    st = State::Code;
+                }
+                break;
+        }
+    }
+
+    f.raw = splitLines(content);
+    f.code = splitLines(code);
+    f.code.resize(f.raw.size()); // blanking never adds lines
+
+    // Suppressions: `tpf-lint: allow(rule-a, rule-b)` in a comment. On a
+    // line that also carries code the allowance applies to that line; in a
+    // comment-only position it applies to the next line that carries code
+    // (so a multi-line explanation comment covers the statement after it).
+    static const std::regex allowRe(R"(tpf-lint:\s*allow\(([^)]*)\))");
+    const auto hasCode = [&](int ln1) {
+        return ln1 - 1 < static_cast<int>(f.code.size()) &&
+               f.code[static_cast<std::size_t>(ln1 - 1)].find_first_not_of(
+                   " \t") != std::string::npos;
+    };
+    for (const auto& [ln, text] : comments) {
+        std::smatch m;
+        std::string rest = text;
+        while (std::regex_search(rest, m, allowRe)) {
+            std::string rules = m[1].str();
+            int target = ln;
+            if (!hasCode(ln)) {
+                target = 0;
+                for (int cand = ln + 1;
+                     cand <= static_cast<int>(f.code.size()); ++cand)
+                    if (hasCode(cand)) {
+                        target = cand;
+                        break;
+                    }
+            }
+            if (target != 0) {
+                std::string name;
+                for (std::size_t i = 0; i <= rules.size(); ++i) {
+                    if (i == rules.size() || rules[i] == ',' ||
+                        rules[i] == ' ') {
+                        if (!name.empty()) f.allows[target].insert(name);
+                        name.clear();
+                    } else {
+                        name.push_back(rules[i]);
+                    }
+                }
+            }
+            rest = m.suffix();
+        }
+    }
+    return f;
+}
+
+std::vector<Finding> lintSource(std::string path, std::string_view content,
+                                const std::set<std::string>& enabled) {
+    return lintScanned(scanSource(std::move(path), content), enabled);
+}
+
+std::string formatFinding(const Finding& f) {
+    std::string out = f.file + ":" + std::to_string(f.line) + ":" +
+                      std::to_string(f.column) + ": error: [" + f.rule + "] " +
+                      f.message;
+    if (!f.hint.empty()) out += "\n  fix-it: " + f.hint;
+    return out;
+}
+
+} // namespace tpf::lint

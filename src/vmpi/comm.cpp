@@ -11,6 +11,8 @@ namespace {
 /// How long a blocking receive may stall before we declare a deadlock.
 /// Generous enough for heavily oversubscribed CI machines; small enough that a
 /// genuinely deadlocked test fails with a diagnostic instead of hanging.
+// tpf-lint: allow(nondeterminism) -- deadlock-detection timeout for blocking
+// receives; only decides when to abort a hung run, never a simulation value.
 constexpr auto kRecvTimeout = std::chrono::seconds(120);
 } // namespace
 

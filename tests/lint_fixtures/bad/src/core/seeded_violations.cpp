@@ -1,0 +1,43 @@
+// Seeded tpf-lint violations — one per rule. This file is NEVER compiled; it
+// exists so the tpf_lint_negative ctest (and CI) can prove the linter still
+// fails on a dirty tree: tpf-lint over this directory must exit nonzero with
+// exactly these findings. test_lint.cpp pins the expected rule list.
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+double initProfile(double x) {
+    return std::sin(x); // rule: fastmath (libm in src/core numerics)
+}
+
+double sumPhases(const std::unordered_map<int, double>& fractions) {
+    double s = 0.0;
+    for (const auto& [phase, f] : fractions) // rule: unordered-iteration
+        s += f;
+    return s;
+}
+
+double seedNoise() {
+    const auto t = std::chrono::steady_clock::now(); // rule: nondeterminism
+    (void)t;
+    return 0.0;
+}
+
+struct Comm {
+    bool isRoot() const { return true; }
+    double allreduceSum(double v) { return v; }
+};
+
+double reportFraction(Comm& comm, double local) {
+    double global = 0.0;
+    if (comm.isRoot()) {
+        global = comm.allreduceSum(local); // rule: collective-in-conditional
+    }
+    return global;
+}
+
+void checkBounds(int i, int n) {
+    assert(i >= 0 && i < n); // rule: assert-macro
+}

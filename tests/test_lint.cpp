@@ -1,0 +1,354 @@
+/// \file test_lint.cpp
+/// tpf-lint rule library tests: fixture snippets that must / must not
+/// trigger each rule, the suppression-comment syntax, scanner stripping of
+/// comments and literals, and the committed seeded-violation fixture that
+/// backs the tpf_lint_negative ctest.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using tpf::lint::Finding;
+using tpf::lint::lintSource;
+
+namespace {
+
+std::vector<std::string> rulesOf(const std::vector<Finding>& fs) {
+    std::vector<std::string> r;
+    for (const auto& f : fs) r.push_back(f.rule);
+    std::sort(r.begin(), r.end());
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// fastmath
+// ---------------------------------------------------------------------------
+
+TEST(LintFastmath, FlagsLibmInCore) {
+    const auto fs =
+        lintSource("src/core/init.cpp", "double y = std::sin(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "fastmath");
+    EXPECT_EQ(fs[0].line, 1);
+    EXPECT_EQ(fs[0].file, "src/core/init.cpp");
+    EXPECT_NE(fs[0].hint.find("fastmath"), std::string::npos);
+}
+
+TEST(LintFastmath, FlagsUnqualifiedCallInAnalysis) {
+    const auto fs =
+        lintSource("src/analysis/corr.cpp", "double y = exp(-r / xi);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "fastmath");
+}
+
+TEST(LintFastmath, IgnoresSqrtFastmathHelpersAndMembers) {
+    const auto fs = lintSource("src/core/init.cpp",
+                               "double a = std::sqrt(x);\n"
+                               "double b = sinpiCompact(x);\n"
+                               "double c = table.exp(x);\n"
+                               "double d = fastInvSqrt(x);\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintFastmath, OnlyAppliesToCoreAndAnalysis) {
+    EXPECT_TRUE(lintSource("src/io/writers.cpp", "y = std::sin(x);\n").empty());
+    EXPECT_TRUE(lintSource("src/thermo/agalcu.cpp", "y = std::exp(x);\n").empty());
+    EXPECT_FALSE(lintSource("src/analysis/f.cpp", "y = std::sin(x);\n").empty());
+}
+
+TEST(LintFastmath, IgnoresStringsAndComments) {
+    const auto fs = lintSource("src/core/init.cpp",
+                               "const char* s = \"std::sin(x)\";\n"
+                               "// std::cos(y) would be wrong here\n"
+                               "/* std::exp(z) */ int a = 0;\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression syntax
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesTheRule) {
+    const auto fs = lintSource(
+        "src/core/init.cpp",
+        "double y = std::sin(x); // tpf-lint: allow(fastmath) -- golden-free\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, CommentOnlyLineCoversNextCodeLine) {
+    const auto fs = lintSource("src/core/init.cpp",
+                               "// tpf-lint: allow(fastmath) -- documented\n"
+                               "// multi-line explanation comment\n"
+                               "double y = std::sin(x);\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, WrongRuleNameDoesNotSilence) {
+    const auto fs = lintSource(
+        "src/core/init.cpp",
+        "double y = std::sin(x); // tpf-lint: allow(assert-macro) -- nope\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "fastmath");
+}
+
+TEST(LintSuppression, StarAllowsEverythingOnTheLine) {
+    const auto fs = lintSource(
+        "src/core/init.cpp",
+        "assert(std::sin(x) > 0); // tpf-lint: allow(*) -- test scaffolding\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, ListedRulesAllSilence) {
+    const auto fs = lintSource(
+        "src/core/init.cpp",
+        "assert(std::sin(x) > 0); "
+        "// tpf-lint: allow(fastmath, assert-macro) -- both known\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, AllowDoesNotLeakToOtherLines) {
+    const auto fs = lintSource(
+        "src/core/init.cpp",
+        "double a = std::sin(x); // tpf-lint: allow(fastmath) -- here only\n"
+        "double b = std::cos(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+TEST(LintUnordered, FlagsRangeForOverUnorderedMap) {
+    const auto fs = lintSource(
+        "src/io/mesh.cpp",
+        "std::unordered_map<int, double> counts;\n"
+        "for (const auto& [k, v] : counts) total += v;\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "unordered-iteration");
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintUnordered, FlagsExplicitBeginWalk) {
+    const auto fs =
+        lintSource("src/io/mesh.cpp",
+                   "std::unordered_set<int> seen;\n"
+                   "for (auto it = seen.begin(); it != seen.end(); ++it) {}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "unordered-iteration");
+}
+
+TEST(LintUnordered, LookupsAndOrderedContainersAreFine) {
+    const auto fs = lintSource("src/io/mesh.cpp",
+                               "std::unordered_map<int, double> counts;\n"
+                               "if (counts.count(k)) x = counts.at(k);\n"
+                               "std::map<int, double> sorted;\n"
+                               "for (const auto& [k, v] : sorted) total += v;\n"
+                               "std::vector<int> order;\n"
+                               "for (int i : order) use(i);\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(LintNondet, FlagsChronoRandAndTimeInDeterministicDirs) {
+    const auto fs = lintSource("src/core/seed.cpp",
+                               "auto t0 = std::chrono::steady_clock::now();\n"
+                               "int r = rand();\n"
+                               "long s = time(nullptr);\n"
+                               "std::random_device rd;\n");
+    EXPECT_EQ(fs.size(), 4u);
+    for (const auto& f : fs) EXPECT_EQ(f.rule, "nondeterminism");
+}
+
+TEST(LintNondet, MemberTimeAndDeclarationsAreFine) {
+    const auto fs = lintSource("src/core/solver.cpp",
+                               "double t = solver.time();\n"
+                               "double tt = this->time();\n"
+                               "double time() const { return time_; }\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintNondet, PerfAndAppDirsAreExempt) {
+    EXPECT_TRUE(lintSource("src/perf/perf.h",
+                           "auto t = std::chrono::steady_clock::now();\n")
+                    .empty());
+    EXPECT_TRUE(
+        lintSource("src/app/tpf_sim.cpp", "long s = time(nullptr);\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// collective-in-conditional
+// ---------------------------------------------------------------------------
+
+TEST(LintCollective, FlagsBarrierInsideRootBranch) {
+    const auto fs = lintSource("src/core/report.cpp",
+                               "if (comm.isRoot()) {\n"
+                               "    comm.barrier();\n"
+                               "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "collective-in-conditional");
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintCollective, FlagsSameLineAndRankEqualsZeroForms) {
+    EXPECT_EQ(lintSource("src/core/r.cpp",
+                         "if (comm.isRoot()) comm.barrier();\n")
+                  .size(),
+              1u);
+    EXPECT_EQ(lintSource("src/core/r.cpp",
+                         "if (rank == 0) {\n"
+                         "    double g = comm.allreduceSum(x);\n"
+                         "}\n")
+                  .size(),
+              1u);
+    EXPECT_EQ(lintSource("src/core/r.cpp",
+                         "if (comm.rank() == 0) {\n"
+                         "    auto all = comm.gatherAllBytes(mine);\n"
+                         "}\n")
+                  .size(),
+              1u);
+}
+
+TEST(LintCollective, FlagsElseBranchOfRankConditional) {
+    const auto fs = lintSource("src/core/r.cpp",
+                               "if (comm.isRoot()) {\n"
+                               "    rootWork();\n"
+                               "} else {\n"
+                               "    comm.barrier();\n"
+                               "}\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(LintCollective, UnconditionalCollectivesAndRootOnlyWorkAreFine) {
+    const auto fs = lintSource("src/core/r.cpp",
+                               "const double g = comm.allreduceSum(x);\n"
+                               "if (comm.isRoot()) {\n"
+                               "    std::printf(\"%f\", g);\n"
+                               "}\n"
+                               "comm.barrier();\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintCollective, CollectiveAfterGuardClosesIsFine) {
+    const auto fs = lintSource("src/core/r.cpp",
+                               "if (comm.isRoot()) {\n"
+                               "    rootOnly();\n"
+                               "}\n"
+                               "comm.barrier();\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintCollective, VmpiImplementationIsExempt) {
+    const auto fs = lintSource("src/vmpi/comm.cpp",
+                               "if (rank_ == 0) {\n"
+                               "    for (int r = 1; r < size_; ++r)\n"
+                               "        result = op(result, recvValue(r));\n"
+                               "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// assert-macro
+// ---------------------------------------------------------------------------
+
+TEST(LintAssert, FlagsBareAssert) {
+    const auto fs =
+        lintSource("src/grid/field.cpp", "assert(i >= 0 && i < n);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "assert-macro");
+    EXPECT_NE(fs[0].hint.find("TPF_ASSERT"), std::string::npos);
+}
+
+TEST(LintAssert, TpfAssertAndStaticAssertAreFine) {
+    const auto fs = lintSource("src/grid/field.cpp",
+                               "TPF_ASSERT(i >= 0, \"range\");\n"
+                               "TPF_ASSERT_DBG(j < n, \"range\");\n"
+                               "static_assert(sizeof(double) == 8);\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine: rule selection, formatting, scanner edge cases
+// ---------------------------------------------------------------------------
+
+TEST(LintEngine, EnabledSetRestrictsRules) {
+    const std::string src = "assert(std::sin(x) > 0);\n";
+    EXPECT_EQ(rulesOf(lintSource("src/core/x.cpp", src)),
+              (std::vector<std::string>{"assert-macro", "fastmath"}));
+    EXPECT_EQ(rulesOf(lintSource("src/core/x.cpp", src, {"fastmath"})),
+              (std::vector<std::string>{"fastmath"}));
+}
+
+TEST(LintEngine, FormatFindingIsFileLineColWithFixIt) {
+    const auto fs = lintSource("src/core/x.cpp", "double y = std::sin(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    const std::string s = tpf::lint::formatFinding(fs[0]);
+    EXPECT_NE(s.find("src/core/x.cpp:1:"), std::string::npos);
+    EXPECT_NE(s.find("error: [fastmath]"), std::string::npos);
+    EXPECT_NE(s.find("fix-it:"), std::string::npos);
+}
+
+TEST(LintEngine, RuleCatalogMatchesIsKnownRule) {
+    for (const auto& r : tpf::lint::ruleCatalog())
+        EXPECT_TRUE(tpf::lint::isKnownRule(r.name));
+    EXPECT_FALSE(tpf::lint::isKnownRule("no-such-rule"));
+}
+
+TEST(LintScanner, DigitSeparatorsAndCharLiteralsDoNotDesync) {
+    // A digit separator must not open a char literal and swallow the rest of
+    // the file (which would hide the std::sin on the next line).
+    const auto fs = lintSource("src/core/x.cpp",
+                               "const int big = 1'000'000;\n"
+                               "double y = std::sin(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintScanner, RawStringsAreStripped) {
+    const auto fs = lintSource("src/core/x.cpp",
+                               "const char* re = R\"(std::sin(x))\";\n"
+                               "double y = std::cos(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintScanner, BlockCommentSpanningLinesIsStripped) {
+    const auto fs = lintSource("src/core/x.cpp",
+                               "/* std::sin(a)\n"
+                               "   std::cos(b) */\n"
+                               "double y = std::exp(x);\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// The committed seeded-violation fixture: the negative ctest runs tpf-lint
+// over this directory and expects failure; here we pin exactly which rules
+// fire so a rule rename or regression is caught at the library level.
+// ---------------------------------------------------------------------------
+
+TEST(LintFixture, SeededViolationFileTriggersEveryRule) {
+    const std::string path = std::string(TPF_LINT_FIXTURE_DIR) +
+                             "/bad/src/core/seeded_violations.cpp";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto fs = lintSource("src/core/seeded_violations.cpp", ss.str());
+    EXPECT_EQ(rulesOf(fs),
+              (std::vector<std::string>{"assert-macro",
+                                        "collective-in-conditional",
+                                        "fastmath", "nondeterminism",
+                                        "unordered-iteration"}));
+}
+

@@ -92,9 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(allMuKernels()),
                        ::testing::Values(Scenario::Interface, Scenario::Liquid,
                                          Scenario::Solid)),
-    [](const auto& info) {
-        return testSafe(kernelName(std::get<0>(info.param))) + "_" +
-               scenarioName(std::get<1>(info.param));
+    [](const auto& pinfo) {
+        return testSafe(kernelName(std::get<0>(pinfo.param))) + "_" +
+               scenarioName(std::get<1>(pinfo.param));
     });
 
 class MuSplitTest : public ::testing::TestWithParam<MuKernelKind> {};
@@ -122,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(SplittableKernels, MuSplitTest,
                                            MuKernelKind::ScalarTzStagCut,
                                            MuKernelKind::SimdTzStag,
                                            MuKernelKind::SimdTzStagCut),
-                         [](const auto& info) { return testSafe(kernelName(info.param)); });
+                         [](const auto& pinfo) { return testSafe(kernelName(pinfo.param)); });
 
 TEST(MuKernel, AntiTrappingChangesInterfaceResult) {
     // Sanity: J_at must actually contribute at a moving front.

@@ -100,9 +100,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(allPhiKernels()),
                        ::testing::Values(Scenario::Interface, Scenario::Liquid,
                                          Scenario::Solid)),
-    [](const auto& info) {
-        return testSafe(kernelName(std::get<0>(info.param))) + "_" +
-               scenarioName(std::get<1>(info.param));
+    [](const auto& pinfo) {
+        return testSafe(kernelName(std::get<0>(pinfo.param))) + "_" +
+               scenarioName(std::get<1>(pinfo.param));
     });
 
 class PhiKernelInvariants : public ::testing::TestWithParam<PhiKernelKind> {};
@@ -162,7 +162,7 @@ TEST_P(PhiKernelInvariants, PureLiquidBlockIsCompletelyStatic) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, PhiKernelInvariants,
                          ::testing::ValuesIn(allPhiKernels()),
-                         [](const auto& info) { return testSafe(kernelName(info.param)); });
+                         [](const auto& pinfo) { return testSafe(kernelName(pinfo.param)); });
 
 TEST(PhiKernel, UndercoolingGrowsSolidAtTheFront) {
     // With the eutectic isotherm far above the front, the front region is
