@@ -1,0 +1,105 @@
+/// Whole-step throughput of the split vs the fused sweep schedule
+/// (core/fused_sweep.h) at the paper's Figure 5 grid (60^3 cells), one rank,
+/// one thread — the configuration whose per-core MLUP/s the paper reports.
+/// The split schedule streams phiDst through memory twice per step (phi
+/// writes it, the mu sweep re-reads it after the whole field was written);
+/// the fused schedule consumes each phi slab while it is cache-resident.
+///
+/// Each schedule is measured as the best over many tightly interleaved short
+/// bursts of steps — the least-interference burst is the one that reflects
+/// the code rather than the neighbors on a shared machine, and interleaving
+/// keeps slow drift from favoring either schedule.
+///
+/// With --json <path> the two measurements are upserted into the versioned
+/// BENCH_<n>.json trajectory (perf/bench_json.h). The committed file must
+/// show fused >= split on the committing machine; the schema/monotonicity
+/// gates live in tests/test_perf.cpp.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/kernel_dispatch.h"
+#include "core/solver.h"
+#include "perf/bench_json.h"
+#include "perf/perf.h"
+#include "util/table.h"
+
+using namespace tpf;
+
+namespace {
+
+std::unique_ptr<core::Solver> makeSolver(core::SweepSchedule schedule) {
+    core::SolverConfig cfg;
+    cfg.globalCells = {60, 60, 60};
+    cfg.schedule = schedule;
+    cfg.threads = 1;
+    cfg.overlapMu = true; // the paper's production overlap mode
+    auto s = std::make_unique<core::Solver>(cfg);
+    s->initialize();
+    return s;
+}
+
+double burstMlups(core::Solver& solver) {
+    const double sec =
+        perf::timeIt([&] { solver.step(); }, /*minSeconds=*/0.25);
+    const double cells = 60.0 * 60.0 * 60.0;
+    return cells / sec / 1e6;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const char* target = core::activeKernelTarget()->name;
+    std::printf("== Fused vs split sweep schedule, 60^3, 1 thread "
+                "(kernel target: %s) ==\n\n",
+                target);
+
+    // Two long-lived solvers, measured in tightly interleaved short bursts:
+    // adjacent bursts see the same machine conditions, so slow drift (turbo
+    // decay, neighbor steal on shared hosts) cannot favor one schedule, and
+    // the per-schedule best over all bursts is each schedule's quiet-window
+    // throughput.
+    constexpr int kBursts = 12;
+    auto splitSolver = makeSolver(core::SweepSchedule::Split);
+    auto fusedSolver = makeSolver(core::SweepSchedule::Fused);
+    double split = 0.0;
+    double fused = 0.0;
+    for (int r = 0; r < kBursts; ++r) {
+        split = std::max(split, burstMlups(*splitSolver));
+        fused = std::max(fused, burstMlups(*fusedSolver));
+    }
+
+    Table t({"schedule", "MLUP/s", "speedup"});
+    t.addRow({"split", Table::num(split, 2), Table::num(1.0, 2)});
+    t.addRow({"fused", Table::num(fused, 2), Table::num(fused / split, 2)});
+    t.print();
+
+    if (!jsonPath.empty()) {
+        perf::upsertBenchFile(
+            jsonPath,
+            {{"bench_fused", std::string("split ") + target + " 60^3 t1",
+              split, 0.0},
+             {"bench_fused", std::string("fused ") + target + " 60^3 t1",
+              fused, 0.0}});
+        std::printf("\nwrote %s\n", jsonPath.c_str());
+    }
+
+    if (fused < split)
+        std::printf("\nWARNING: fused (%.2f) did not beat split (%.2f) on "
+                    "this machine/run.\n",
+                    fused, split);
+    return 0;
+}

@@ -12,6 +12,7 @@ if(NOT DEFINED REPO_ROOT)
 endif()
 
 set(checked_docs
+    "${REPO_ROOT}/README.md"
     "${REPO_ROOT}/docs/ARCHITECTURE.md"
     "${REPO_ROOT}/docs/KERNELS.md"
     "${REPO_ROOT}/docs/CORRECTNESS.md")

@@ -1,0 +1,120 @@
+#include "core/kernel_dispatch.h"
+
+#include <cstdlib>
+
+namespace tpf::core {
+
+namespace {
+
+/// CPU support check per target name. Compiled-in targets whose ISA the
+/// binary was *built* for unconditionally (e.g. -march=native) are still
+/// checked — the dispatch table must only offer what the machine can run.
+bool cpuSupports(const KernelTarget& t) {
+    const std::string name = t.name;
+    if (name == "scalar") return true;
+#if defined(__GNUC__) || defined(__clang__)
+    if (name == "sse2") return true; // baseline on x86-64; TU gated otherwise
+    if (name == "avx2")
+        return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    if (name == "avx512")
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma") &&
+               __builtin_cpu_supports("avx512f");
+    return false;
+#else
+    return name == "sse2";
+#endif
+}
+
+const KernelTarget* widestAvailable() {
+    const auto all = availableKernelTargets();
+    return all.back(); // narrowest first; scalar guarantees non-empty
+}
+
+/// Mutable selection + one-time TPF_KERNEL resolution.
+const KernelTarget*& selection() {
+    static const KernelTarget* sel = [] {
+        const KernelTarget* def = widestAvailable();
+        if (const char* env = std::getenv("TPF_KERNEL")) {
+            KernelSpec spec;
+            std::string err;
+            if (parseKernelSpec(env, spec, err) && spec.target != "auto") {
+                for (const KernelTarget* t : availableKernelTargets())
+                    if (spec.target == t->name) return t;
+                // Unsupported on this machine: fall through to the default
+                // rather than aborting — results are bitwise identical
+                // across targets anyway.
+            }
+        }
+        return def;
+    }();
+    return sel;
+}
+
+} // namespace
+
+std::vector<const KernelTarget*> availableKernelTargets() {
+    std::vector<const KernelTarget*> out;
+    for (const KernelTarget* t :
+         {kernelTargetScalar(), kernelTargetSse2(), kernelTargetAvx2(),
+          kernelTargetAvx512()})
+        if (t != nullptr && cpuSupports(*t)) out.push_back(t);
+    return out;
+}
+
+const KernelTarget* activeKernelTarget() { return selection(); }
+
+bool setKernelTarget(const std::string& name) {
+    if (name == "auto") {
+        selection() = widestAvailable();
+        return true;
+    }
+    for (const KernelTarget* t : availableKernelTargets()) {
+        if (name == t->name) {
+            selection() = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool parseKernelSpec(const std::string& spec, KernelSpec& out,
+                     std::string& err) {
+    KernelSpec parsed;
+    bool haveSchedule = false, haveTarget = false;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t colon = spec.find(':', pos);
+        const std::string tok =
+            spec.substr(pos, colon == std::string::npos ? std::string::npos
+                                                        : colon - pos);
+        pos = colon == std::string::npos ? spec.size() + 1 : colon + 1;
+
+        if (tok == "split" || tok == "fused") {
+            if (haveSchedule) {
+                err = "kernel spec '" + spec + "': duplicate schedule token";
+                return false;
+            }
+            parsed.schedule = tok == "fused" ? SweepSchedule::Fused
+                                             : SweepSchedule::Split;
+            haveSchedule = true;
+        } else if (tok == "auto" || tok == "scalar" || tok == "sse2" ||
+                   tok == "avx2" || tok == "avx512") {
+            if (haveTarget) {
+                err = "kernel spec '" + spec + "': duplicate target token";
+                return false;
+            }
+            parsed.target = tok;
+            haveTarget = true;
+        } else {
+            err = "kernel spec '" + spec + "': unknown token '" + tok +
+                  "' (expected split|fused or "
+                  "auto|scalar|sse2|avx2|avx512)";
+            return false;
+        }
+    }
+    out = parsed;
+    return true;
+}
+
+} // namespace tpf::core

@@ -1,0 +1,52 @@
+/// \file kernels_avx2.cpp
+/// The "avx2" dispatch target: kernel bodies instantiated with Vec4dAvx2.
+/// Compiled with per-file `-mavx2 -mfma` (src/CMakeLists.txt) when the
+/// compiler supports them, so the target exists even in portable builds; the
+/// runtime cpuid check in kernel_dispatch.cpp keeps it off unsupported CPUs.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernel_dispatch.h"
+#include "core/kernels.h"
+#include "core/model_common.h"
+#include "simd/simplex4.h"
+#include "simd/vec4d_avx2.h"
+#include "util/alignment.h"
+
+namespace tpf::core {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+namespace cellwise {
+using V = simd::Vec4dAvx2;
+#include "core/phi_kernel_cellwise_body.h"
+} // namespace cellwise
+
+namespace multicell {
+using V = simd::Vec4dAvx2;
+#include "core/phi_kernel_multicell_body.h"
+#include "core/mu_kernel_multicell_body.h"
+} // namespace multicell
+
+const KernelTarget kTarget = {
+    "avx2",
+    simd::Vec4dAvx2::width,
+    &cellwise::phiSweepCellwiseBody,
+    &multicell::phiSweepMultiCellBody,
+    &multicell::muSweepMultiCellBody,
+};
+
+} // namespace
+
+const KernelTarget* kernelTargetAvx2() { return &kTarget; }
+
+#else
+
+const KernelTarget* kernelTargetAvx2() { return nullptr; }
+
+#endif
+
+} // namespace tpf::core

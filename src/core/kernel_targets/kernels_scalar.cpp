@@ -1,0 +1,44 @@
+/// \file kernels_scalar.cpp
+/// The "scalar" dispatch target: all kernel bodies instantiated with the
+/// portable Vec4dScalar backend. Always compiled, always CPU-supported — the
+/// reference target every other one must match bitwise (the std::fma / memcpy
+/// rsqrt forms in vec4d_scalar.h are the contract; docs/CORRECTNESS.md).
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernel_dispatch.h"
+#include "core/kernels.h"
+#include "core/model_common.h"
+#include "simd/simplex4.h"
+#include "simd/vec4d_scalar.h"
+#include "util/alignment.h"
+
+namespace tpf::core {
+
+namespace {
+
+namespace cellwise {
+using V = simd::Vec4dScalar;
+#include "core/phi_kernel_cellwise_body.h"
+} // namespace cellwise
+
+namespace multicell {
+using V = simd::Vec4dScalar;
+#include "core/phi_kernel_multicell_body.h"
+#include "core/mu_kernel_multicell_body.h"
+} // namespace multicell
+
+const KernelTarget kTarget = {
+    "scalar",
+    simd::Vec4dScalar::width,
+    &cellwise::phiSweepCellwiseBody,
+    &multicell::phiSweepMultiCellBody,
+    &multicell::muSweepMultiCellBody,
+};
+
+} // namespace
+
+const KernelTarget* kernelTargetScalar() { return &kTarget; }
+
+} // namespace tpf::core

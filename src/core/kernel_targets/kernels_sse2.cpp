@@ -1,0 +1,51 @@
+/// \file kernels_sse2.cpp
+/// The "sse2" dispatch target: kernel bodies instantiated with the two-half
+/// Vec4dSse2 backend. SSE2 is baseline on x86-64, so no per-file ISA flags
+/// are needed; on architectures without SSE2 the accessor returns nullptr.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernel_dispatch.h"
+#include "core/kernels.h"
+#include "core/model_common.h"
+#include "simd/simplex4.h"
+#include "simd/vec4d_sse2.h"
+#include "util/alignment.h"
+
+namespace tpf::core {
+
+#if defined(__SSE2__) || defined(_M_X64)
+
+namespace {
+
+namespace cellwise {
+using V = simd::Vec4dSse2;
+#include "core/phi_kernel_cellwise_body.h"
+} // namespace cellwise
+
+namespace multicell {
+using V = simd::Vec4dSse2;
+#include "core/phi_kernel_multicell_body.h"
+#include "core/mu_kernel_multicell_body.h"
+} // namespace multicell
+
+const KernelTarget kTarget = {
+    "sse2",
+    simd::Vec4dSse2::width,
+    &cellwise::phiSweepCellwiseBody,
+    &multicell::phiSweepMultiCellBody,
+    &multicell::muSweepMultiCellBody,
+};
+
+} // namespace
+
+const KernelTarget* kernelTargetSse2() { return &kTarget; }
+
+#else
+
+const KernelTarget* kernelTargetSse2() { return nullptr; }
+
+#endif
+
+} // namespace tpf::core

@@ -1,6 +1,39 @@
 #include "core/kernels.h"
 
+#include "core/kernel_dispatch.h"
+
 namespace tpf::core {
+
+namespace {
+
+/// Vectorized sweeps go through the runtime-selected instruction-set target
+/// (core/kernel_dispatch.h). The cellwise phi body is always 4-wide; the
+/// multi-cell bodies need nx >= target width, below which the compile-time
+/// Vec4d entry points take over (bitwise identical — the targets only differ
+/// in instruction encoding, never in arithmetic).
+void dispatchPhiCellwise(SimBlock& b, const StepContext& ctx, bool useTz,
+                         bool useStag, bool shortcuts) {
+    activeKernelTarget()->phiCellwise(b, ctx, useTz, useStag, shortcuts);
+}
+
+void dispatchPhiMultiCell(SimBlock& b, const StepContext& ctx) {
+    const KernelTarget* t = activeKernelTarget();
+    if (b.size.x >= t->width)
+        t->phiMultiCell(b, ctx);
+    else
+        phiSweepSimdFourCell(b, ctx);
+}
+
+void dispatchMuMultiCell(SimBlock& b, const StepContext& ctx, bool useTz,
+                         bool useStag, bool shortcuts, MuSweepPart part) {
+    const KernelTarget* t = activeKernelTarget();
+    if (b.size.x >= t->width)
+        t->muMultiCell(b, ctx, useTz, useStag, shortcuts, part);
+    else
+        muSweepSimdFourCell(b, ctx, useTz, useStag, shortcuts, part);
+}
+
+} // namespace
 
 void runPhiKernel(PhiKernelKind k, SimBlock& b, const StepContext& ctx) {
     switch (k) {
@@ -13,18 +46,18 @@ void runPhiKernel(PhiKernelKind k, SimBlock& b, const StepContext& ctx) {
             phiSweepScalarOpt(b, ctx, /*shortcuts=*/true);
             return;
         case PhiKernelKind::Simd:
-            phiSweepSimdCellwise(b, ctx, false, false, false);
+            dispatchPhiCellwise(b, ctx, false, false, false);
             return;
         case PhiKernelKind::SimdTz:
-            phiSweepSimdCellwise(b, ctx, true, false, false);
+            dispatchPhiCellwise(b, ctx, true, false, false);
             return;
         case PhiKernelKind::SimdTzStag:
-            phiSweepSimdCellwise(b, ctx, true, true, false);
+            dispatchPhiCellwise(b, ctx, true, true, false);
             return;
         case PhiKernelKind::SimdTzStagCut:
-            phiSweepSimdCellwise(b, ctx, true, true, true);
+            dispatchPhiCellwise(b, ctx, true, true, true);
             return;
-        case PhiKernelKind::SimdFourCell: phiSweepSimdFourCell(b, ctx); return;
+        case PhiKernelKind::SimdFourCell: dispatchPhiMultiCell(b, ctx); return;
     }
     TPF_ASSERT(false, "unknown phi kernel kind");
 }
@@ -45,16 +78,16 @@ void runMuKernel(MuKernelKind k, SimBlock& b, const StepContext& ctx,
             muSweepScalarOpt(b, ctx, /*shortcuts=*/true, part);
             return;
         case MuKernelKind::Simd:
-            muSweepSimdFourCell(b, ctx, false, false, false, part);
+            dispatchMuMultiCell(b, ctx, false, false, false, part);
             return;
         case MuKernelKind::SimdTz:
-            muSweepSimdFourCell(b, ctx, true, false, false, part);
+            dispatchMuMultiCell(b, ctx, true, false, false, part);
             return;
         case MuKernelKind::SimdTzStag:
-            muSweepSimdFourCell(b, ctx, true, true, false, part);
+            dispatchMuMultiCell(b, ctx, true, true, false, part);
             return;
         case MuKernelKind::SimdTzStagCut:
-            muSweepSimdFourCell(b, ctx, true, true, true, part);
+            dispatchMuMultiCell(b, ctx, true, true, true, part);
             return;
     }
     TPF_ASSERT(false, "unknown mu kernel kind");

@@ -1,0 +1,193 @@
+/// \file phi_kernel_multicell_body.h
+/// Width-generic multi-cell phi-sweep body (Figure 5 "four cells",
+/// generalized: one SIMD vector holds the same phase of V::width consecutive
+/// x-cells). NO include guard on purpose: included inside an anonymous
+/// namespace with a `using V = <vector type>;` alias in scope — see
+/// phi_kernel_cellwise_body.h for the linkage rationale and the prerequisite
+/// includes.
+///
+/// Remainder handling for nx % V::width != 0 (still requiring nx % 4 == 0 and
+/// nx >= V::width): the last x-group is shifted down to start at nx - width
+/// and overlaps the previous group. The sweep is a pure overwrite of phiDst
+/// from unmodified inputs (phiSrc, muSrc), so recomputing the overlapped
+/// cells reproduces their bits exactly — including across the bulk-shortcut
+/// branch, whose taken/not-taken decision is group-shape-dependent but whose
+/// two paths agree bitwise for bulk cells (the equivalence the existing
+/// four-cell kernel already relies on; locked down by
+/// tests/test_kernel_equivalence.cpp at nx % 8 == 4).
+
+/// Face flux for V::width consecutive faces along one axis, per phase a:
+/// inputs are per-phase vectors over the cell pairs.
+inline void faceFluxM(const ModelConsts& mc, const V pL[N], const V pR[N],
+                      V flux[N]) {
+    const V half = V::broadcast(0.5);
+    const V invDx = V::broadcast(mc.invDx);
+    V pf[N], dp[N];
+    for (int a = 0; a < N; ++a) {
+        pf[a] = half * (pL[a] + pR[a]);
+        dp[a] = (pR[a] - pL[a]) * invDx;
+    }
+    for (int a = 0; a < N; ++a) {
+        V s = V::zero();
+        for (int bph = 0; bph < N; ++bph) {
+            if (bph == a) continue;
+            const V q = pf[a] * dp[bph] - pf[bph] * dp[a];
+            s += V::broadcast(mc.gamma[a][bph]) * pf[bph] * q;
+        }
+        flux[a] = V::broadcast(-2.0 * mc.eps) * s;
+    }
+}
+
+inline void loadPhaseM(const Field<double>& f, int x, int y, int z, V out[N]) {
+    for (int a = 0; a < N; ++a) out[a] = V::loadu(f.ptr(x, y, z, a));
+}
+
+void phiSweepMultiCellBody(SimBlock& blk, const StepContext& ctx) {
+    constexpr int W = V::width;
+    const ModelConsts& mc = ctx.mc;
+    TPF_ASSERT(ctx.tz != nullptr, "multi-cell phi kernel requires a TzCache");
+    TPF_ASSERT(blk.phiSrc.layout() == Layout::fzyx,
+               "multi-cell vectorization requires the fzyx (SoA) layout");
+    TPF_ASSERT(blk.size.x % 4 == 0 && blk.size.x >= W,
+               "multi-cell vectorization requires nx divisible by 4 and nx >= width");
+    const Field<double>& P = blk.phiSrc;
+    const Field<double>& Mu = blk.muSrc;
+    Field<double>& Dst = blk.phiDst;
+    const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
+    const V one = V::broadcast(1.0);
+
+    for (int z = ctx.zLo(); z < ctx.zHi(nz); ++z) {
+        const SliceThermo st = ctx.tz->at(z);
+        const V Tt = V::broadcast(st.Tt);
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; x += W) {
+                // Overlapped tail group (see file comment).
+                const int xx = x + W <= nx ? x : nx - W;
+                V pC[N], pW[N], pE[N], pS[N], pNn[N], pB[N], pT[N];
+                loadPhaseM(P, xx, y, z, pC);
+                loadPhaseM(P, xx - 1, y, z, pW);
+                loadPhaseM(P, xx + 1, y, z, pE);
+                loadPhaseM(P, xx, y - 1, z, pS);
+                loadPhaseM(P, xx, y + 1, z, pNn);
+                loadPhaseM(P, xx, y, z - 1, pB);
+                loadPhaseM(P, xx, y, z + 1, pT);
+
+                // Shortcut only if *all* cells of the group are bulk (paper:
+                // "can only take these shortcuts if the condition is true for
+                // all four cells").
+                {
+                    V::Mask bulkAll =
+                        (pC[0] == one) & (pW[0] == one) & (pE[0] == one) &
+                        (pS[0] == one) & (pNn[0] == one) & (pB[0] == one) &
+                        (pT[0] == one);
+                    for (int a = 1; a < N; ++a) {
+                        const auto bulkA = (pC[a] == one) & (pW[a] == one) &
+                                           (pE[a] == one) & (pS[a] == one) &
+                                           (pNn[a] == one) & (pB[a] == one) &
+                                           (pT[a] == one);
+                        bulkAll = bulkAll | bulkA;
+                    }
+                    if (bulkAll.all()) {
+                        for (int a = 0; a < N; ++a)
+                            pC[a].storeu(Dst.ptr(xx, y, z, a));
+                        continue;
+                    }
+                }
+
+                V fxm[N], fxp[N], fym[N], fyp[N], fzm[N], fzp[N];
+                faceFluxM(mc, pW, pC, fxm);
+                faceFluxM(mc, pC, pE, fxp);
+                faceFluxM(mc, pS, pC, fym);
+                faceFluxM(mc, pC, pNn, fyp);
+                faceFluxM(mc, pB, pC, fzm);
+                faceFluxM(mc, pC, pT, fzp);
+
+                const V invDx = V::broadcast(mc.invDx);
+                const V hx = V::broadcast(mc.halfInvDx);
+
+                V div[N], g0[N], g1[N], g2[N];
+                for (int a = 0; a < N; ++a) {
+                    div[a] = (((fxp[a] - fxm[a]) + (fyp[a] - fym[a])) +
+                              (fzp[a] - fzm[a])) *
+                             invDx;
+                    g0[a] = (pE[a] - pW[a]) * hx;
+                    g1[a] = (pNn[a] - pS[a]) * hx;
+                    g2[a] = (pT[a] - pB[a]) * hx;
+                }
+
+                // da/dphi.
+                V dad[N];
+                for (int a = 0; a < N; ++a) {
+                    V s = V::zero();
+                    for (int bph = 0; bph < N; ++bph) {
+                        if (bph == a) continue;
+                        const V dot = (pC[a] * g0[bph] - pC[bph] * g0[a]) * g0[bph] +
+                                      (pC[a] * g1[bph] - pC[bph] * g1[a]) * g1[bph] +
+                                      (pC[a] * g2[bph] - pC[bph] * g2[a]) * g2[bph];
+                        s += V::broadcast(mc.gamma[a][bph]) * dot;
+                    }
+                    dad[a] = V::broadcast(2.0 * mc.eps) * s;
+                }
+
+                // Obstacle.
+                const V S = ((pC[0] + pC[1]) + (pC[2] + pC[3]));
+                V Pp = V::zero();
+                for (int a = 0; a < N; ++a)
+                    for (int bph = a + 1; bph < N; ++bph) Pp += pC[a] * pC[bph];
+                V dom[N];
+                for (int a = 0; a < N; ++a) {
+                    V s = V::zero();
+                    for (int bph = 0; bph < N; ++bph) {
+                        if (bph == a) continue;
+                        s += V::broadcast(mc.gamma[a][bph]) * pC[bph];
+                    }
+                    dom[a] = V::broadcast(mc.w16) * s +
+                             V::broadcast(mc.gamma3) *
+                                 (Pp - pC[a] * (S - pC[a]));
+                }
+
+                // Driving force.
+                const V mux = V::loadu(Mu.ptr(xx, y, z, 0));
+                const V muy = V::loadu(Mu.ptr(xx, y, z, 1));
+                const V s2 = ((pC[0] * pC[0] + pC[1] * pC[1]) +
+                              (pC[2] * pC[2] + pC[3] * pC[3]));
+                const V invS2 = one / s2;
+                V om[N], h[N];
+                V omBar = V::zero();
+                for (int a = 0; a < N; ++a) {
+                    const V quad =
+                        V::broadcast(0.5) *
+                        (V::broadcast(mc.kinvA[a]) * mux * mux +
+                         V::broadcast(2.0 * mc.kinvB[a]) * mux * muy +
+                         V::broadcast(mc.kinvD[a]) * muy * muy);
+                    om[a] = -quad -
+                            (mux * V::broadcast(st.xix[a]) +
+                             muy * V::broadcast(st.xiy[a])) +
+                            V::broadcast(st.om[a]);
+                    h[a] = pC[a] * pC[a] * invS2;
+                    omBar += om[a] * h[a];
+                }
+
+                V prop[N];
+                V rhs[N];
+                for (int a = 0; a < N; ++a) {
+                    const V dpsi = V::broadcast(2.0) * pC[a] * invS2 *
+                                   (om[a] - omBar);
+                    rhs[a] = Tt * (div[a] - dad[a]) -
+                             Tt * V::broadcast(mc.invEps) * dom[a] - dpsi;
+                }
+                const V mean = V::broadcast(0.25) *
+                               ((rhs[0] + rhs[1]) + (rhs[2] + rhs[3]));
+                for (int a = 0; a < N; ++a)
+                    prop[a] = pC[a] + V::broadcast(mc.dt) *
+                                          V::broadcast(mc.invTauEps[a]) *
+                                          (rhs[a] - mean);
+
+                simd::projectToSimplex4Lanes(prop[0], prop[1], prop[2],
+                                             prop[3]);
+                for (int a = 0; a < N; ++a)
+                    prop[a].storeu(Dst.ptr(xx, y, z, a));
+            }
+        }
+    }
+}

@@ -1,20 +1,16 @@
 /// \file phi_kernel_simd.cpp
-/// Explicitly vectorized phi-sweeps.
+/// Compile-time-default vectorized phi-sweeps: the cellwise and multi-cell
+/// bodies instantiated with the configure-time simd::Vec4d backend. These are
+/// the entry points the kernel registry falls back to when no runtime
+/// dispatch target applies (core/kernel_dispatch.h holds the per-ISA
+/// instantiations of the same bodies).
 ///
 /// Cellwise strategy (the paper's fastest choice, Figure 5): one SIMD vector
-/// holds the four phases of a single cell. Pairwise phase terms use lane
-/// rotations ("the need of various permute or rotate operations when
-/// computing terms that contain single components of the phi vector");
-/// branching stays possible per cell, which is what makes the bulk shortcut
-/// effective.
-///
-/// Four-cell strategy (Figure 5 "four cells"): one vector holds the same
-/// phase of four consecutive x-cells; shortcuts only apply when all four
-/// cells allow them.
-///
-/// Variant matrix (Figure 6 progression): +T(z) slice cache, +staggered face
-/// flux buffers, +shortcuts — toggled by the useTz/useStag/shortcuts flags.
+/// holds the four phases of a single cell. Multi-cell strategy (Figure 5
+/// "four cells"): one vector holds the same phase of consecutive x-cells;
+/// shortcuts only apply when all cells of a group allow them.
 
+#include <algorithm>
 #include <vector>
 
 #include "core/kernels.h"
@@ -26,486 +22,24 @@
 namespace tpf::core {
 
 namespace {
-
+namespace cellwise4 {
 using V = simd::Vec4d;
+#include "core/phi_kernel_cellwise_body.h"
+} // namespace cellwise4
 
-/// Per-sweep constants in vector form.
-struct PhiSimdConsts {
-    V gammaRot[3]; ///< gammaRot[k-1] lane a = gamma[a][(a+k)%4]
-    V invTauEps;
-    V kinvA, kinvB, kinvD;
-    double eps, invEps, w16, gamma3, invDx, halfInvDx, dt;
-
-    static PhiSimdConsts build(const ModelConsts& mc) {
-        PhiSimdConsts c;
-        for (int k = 1; k <= 3; ++k)
-            c.gammaRot[k - 1] =
-                V::set(mc.gamma[0][(0 + k) % 4], mc.gamma[1][(1 + k) % 4],
-                       mc.gamma[2][(2 + k) % 4], mc.gamma[3][(3 + k) % 4]);
-        c.invTauEps = V::set(mc.invTauEps[0], mc.invTauEps[1], mc.invTauEps[2],
-                             mc.invTauEps[3]);
-        c.kinvA = V::set(mc.kinvA[0], mc.kinvA[1], mc.kinvA[2], mc.kinvA[3]);
-        c.kinvB = V::set(mc.kinvB[0], mc.kinvB[1], mc.kinvB[2], mc.kinvB[3]);
-        c.kinvD = V::set(mc.kinvD[0], mc.kinvD[1], mc.kinvD[2], mc.kinvD[3]);
-        c.eps = mc.eps;
-        c.invEps = mc.invEps;
-        c.w16 = mc.w16;
-        c.gamma3 = mc.gamma3;
-        c.invDx = mc.invDx;
-        c.halfInvDx = mc.halfInvDx;
-        c.dt = mc.dt;
-        return c;
-    }
-};
-
-/// Slice thermo values in vector form.
-struct SliceVec {
-    V xix, xiy, om;
-    double Tt;
-
-    static SliceVec from(const SliceThermo& st) {
-        SliceVec s;
-        s.xix = V::set(st.xix[0], st.xix[1], st.xix[2], st.xix[3]);
-        s.xiy = V::set(st.xiy[0], st.xiy[1], st.xiy[2], st.xiy[3]);
-        s.om = V::set(st.om[0], st.om[1], st.om[2], st.om[3]);
-        s.Tt = st.Tt;
-        return s;
-    }
-};
-
-/// Load the four phases of one cell as a vector (gather for fzyx, contiguous
-/// load for zyxf).
-template <bool kFzyx>
-inline V loadCellPhases(const Field<double>& f, int x, int y, int z) {
-    if constexpr (kFzyx) {
-        const double* p = f.ptr(x, y, z, 0);
-        const std::ptrdiff_t sf = f.fStride();
-        return V::set(p[0], p[sf], p[2 * sf], p[3 * sf]);
-    } else {
-        return V::loadu(f.ptr(x, y, z, 0));
-    }
-}
-
-template <bool kFzyx>
-inline void storeCellPhases(Field<double>& f, int x, int y, int z, V v) {
-    if constexpr (kFzyx) {
-        double* p = f.ptr(x, y, z, 0);
-        alignas(32) double tmp[4];
-        v.store(tmp);
-        const std::ptrdiff_t sf = f.fStride();
-        p[0] = tmp[0];
-        p[sf] = tmp[1];
-        p[2 * sf] = tmp[2];
-        p[3 * sf] = tmp[3];
-    } else {
-        v.storeu(f.ptr(x, y, z, 0));
-    }
-}
-
-/// Staggered-face flux of da/dgrad(phi) (normal component), vector over the
-/// four phases:
-///   flux_a = -2 eps sum_k gammaRot_k[a] pf_{a+k} (pf_a dp_{a+k} - pf_{a+k} dp_a)
-inline V faceFluxV(const PhiSimdConsts& sc, V pL, V pR) {
-    const V half = V::broadcast(0.5);
-    const V invDx = V::broadcast(sc.invDx);
-    const V pf = half * (pL + pR);
-    const V dp = (pR - pL) * invDx;
-
-    V acc = V::zero();
-    {
-        const V pfk = pf.rotateLeft1(), dpk = dp.rotateLeft1();
-        acc += sc.gammaRot[0] * pfk * (pf * dpk - pfk * dp);
-    }
-    {
-        const V pfk = pf.rotateLeft2(), dpk = dp.rotateLeft2();
-        acc += sc.gammaRot[1] * pfk * (pf * dpk - pfk * dp);
-    }
-    {
-        const V pfk = pf.rotateLeft3(), dpk = dp.rotateLeft3();
-        acc += sc.gammaRot[2] * pfk * (pf * dpk - pfk * dp);
-    }
-    return V::broadcast(-2.0 * sc.eps) * acc;
-}
-
-/// Sum of all lanes replicated into every lane (per-lane rotation sums).
-inline V laneSum(V v) {
-    return ((v + v.rotateLeft1()) + (v.rotateLeft2() + v.rotateLeft3()));
-}
-
-/// One full cellwise phi update for the cell vectors (pC plus 6 neighbors)
-/// and face fluxes; returns the projected phi(t+dt).
-inline V cellUpdate(const PhiSimdConsts& sc, const SliceVec& sv, V pC, V pW,
-                    V pE, V pS, V pN_, V pB, V pT, V fxm, V fxp, V fym, V fyp,
-                    V fzm, V fzp, double mux, double muy) {
-    const V invDx = V::broadcast(sc.invDx);
-    const V div = (((fxp - fxm) + (fyp - fym)) + (fzp - fzm)) * invDx;
-
-    // Cell-centered gradients.
-    const V hx = V::broadcast(sc.halfInvDx);
-    const V g0 = (pE - pW) * hx;
-    const V g1 = (pN_ - pS) * hx;
-    const V g2 = (pT - pB) * hx;
-
-    // da/dphi: 2 eps sum_k gammaRot_k (q . grad_{a+k}).
-    V dad = V::zero();
-    {
-        const V pk = pC.rotateLeft1();
-        const V gk0 = g0.rotateLeft1(), gk1 = g1.rotateLeft1(),
-                gk2 = g2.rotateLeft1();
-        const V dot = (pC * gk0 - pk * g0) * gk0 + (pC * gk1 - pk * g1) * gk1 +
-                      (pC * gk2 - pk * g2) * gk2;
-        dad += sc.gammaRot[0] * dot;
-    }
-    {
-        const V pk = pC.rotateLeft2();
-        const V gk0 = g0.rotateLeft2(), gk1 = g1.rotateLeft2(),
-                gk2 = g2.rotateLeft2();
-        const V dot = (pC * gk0 - pk * g0) * gk0 + (pC * gk1 - pk * g1) * gk1 +
-                      (pC * gk2 - pk * g2) * gk2;
-        dad += sc.gammaRot[1] * dot;
-    }
-    {
-        const V pk = pC.rotateLeft3();
-        const V gk0 = g0.rotateLeft3(), gk1 = g1.rotateLeft3(),
-                gk2 = g2.rotateLeft3();
-        const V dot = (pC * gk0 - pk * g0) * gk0 + (pC * gk1 - pk * g1) * gk1 +
-                      (pC * gk2 - pk * g2) * gk2;
-        dad += sc.gammaRot[2] * dot;
-    }
-    dad *= V::broadcast(2.0 * sc.eps);
-
-    // Obstacle derivative: w16 sum gamma phi + gamma3 (P - phi (S - phi)).
-    const V S = laneSum(pC);
-    const V sumGP = sc.gammaRot[0] * pC.rotateLeft1() +
-                    sc.gammaRot[1] * pC.rotateLeft2() +
-                    sc.gammaRot[2] * pC.rotateLeft3();
-    const V p2 = pC * pC;
-    const V P = V::broadcast(0.5) * (S * S - laneSum(p2));
-    const V dom = V::broadcast(sc.w16) * sumGP +
-                  V::broadcast(sc.gamma3) * (P - pC * (S - pC));
-
-    // Driving force from the grand potentials.
-    const V s2 = laneSum(p2);
-    const V invS2 = V::broadcast(1.0) / s2;
-    const V h = p2 * invS2;
-    const V vmux = V::broadcast(mux), vmuy = V::broadcast(muy);
-    const V quad = V::broadcast(0.5) *
-                   (sc.kinvA * vmux * vmux +
-                    V::broadcast(2.0) * sc.kinvB * vmux * vmuy +
-                    sc.kinvD * vmuy * vmuy);
-    const V om = -quad - (vmux * sv.xix + vmuy * sv.xiy) + sv.om;
-    const V omBar = laneSum(om * h);
-    const V dpsi = V::broadcast(2.0) * pC * invS2 * (om - omBar);
-
-    // Assemble, anti-symmetrize, advance, project.
-    const V Tt = V::broadcast(sv.Tt);
-    const V rhs = Tt * (div - dad) - Tt * V::broadcast(sc.invEps) * dom - dpsi;
-    const V mean = V::broadcast(0.25) * laneSum(rhs);
-    V prop = pC + V::broadcast(sc.dt) * sc.invTauEps * (rhs - mean);
-
-    // Scalar projection (bitwise-identical to the scalar kernels; the paper
-    // notes this routine branches per cell anyway).
-    alignas(32) double tmp[4];
-    prop.store(tmp);
-    projectToSimplex4(tmp[0], tmp[1], tmp[2], tmp[3]);
-    return V::load(tmp);
-}
-
-template <bool kFzyx>
-void phiSweepCellwiseImpl(SimBlock& blk, const StepContext& ctx, bool useTz,
-                          bool useStag, bool shortcuts) {
-    const ModelConsts& mc = ctx.mc;
-    const PhiSimdConsts sc = PhiSimdConsts::build(mc);
-    const Field<double>& P = blk.phiSrc;
-    const Field<double>& Mu = blk.muSrc;
-    Field<double>& Dst = blk.phiDst;
-    const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
-    const int z0 = ctx.zLo(), z1 = ctx.zHi(nz);
-    const V one = V::broadcast(1.0);
-
-    // Staggered buffers (vector slots, 32-byte strided on a 64-byte base).
-    // The z-plane buffer restarts at the slab bottom (z == z0) with the same
-    // faceFluxV expression the full sweep would have buffered there.
-    std::vector<double, AlignedAllocator<double>> rowY, planeZ;
-    if (useStag) {
-        rowY.assign(static_cast<std::size_t>(nx) * 4, 0.0);
-        planeZ.assign(static_cast<std::size_t>(nx) * ny * 4, 0.0);
-    }
-
-    for (int z = z0; z < z1; ++z) {
-        SliceThermo st;
-        SliceVec sv;
-        if (useTz) {
-            // T(z) optimization: temperature-dependent values once per slice.
-            TPF_ASSERT(ctx.tz != nullptr, "Tz variant requires a cache");
-            st = ctx.tz->at(z);
-            sv = SliceVec::from(st);
-        }
-        for (int y = 0; y < ny; ++y) {
-            V carryX = V::zero();
-            for (int x = 0; x < nx; ++x) {
-                if (!useTz) {
-                    // "basic" temperature handling: recompute per cell.
-                    const double T = ctx.temp->atCell(blk.origin.z + z,
-                                                      ctx.time,
-                                                      ctx.windowOffset);
-                    st = computeSliceThermo(mc, T);
-                    sv = SliceVec::from(st);
-                }
-
-                const V pC = loadCellPhases<kFzyx>(P, x, y, z);
-                const V pW = loadCellPhases<kFzyx>(P, x - 1, y, z);
-                const V pE = loadCellPhases<kFzyx>(P, x + 1, y, z);
-                const V pS = loadCellPhases<kFzyx>(P, x, y - 1, z);
-                const V pN_ = loadCellPhases<kFzyx>(P, x, y + 1, z);
-                const V pB = loadCellPhases<kFzyx>(P, x, y, z - 1);
-                const V pT = loadCellPhases<kFzyx>(P, x, y, z + 1);
-
-                if (shortcuts) {
-                    // Bulk test: some lane equals 1 in the cell and all six
-                    // neighbors (exact; cellwise vectorization allows this
-                    // per-cell branch).
-                    const auto bulk = (pC == one) & (pW == one) & (pE == one) &
-                                      (pS == one) & (pN_ == one) &
-                                      (pB == one) & (pT == one);
-                    if (bulk.any()) {
-                        storeCellPhases<kFzyx>(Dst, x, y, z, pC);
-                        if (useStag) {
-                            carryX = V::zero();
-                            V::zero().store(rowY.data() +
-                                            static_cast<std::size_t>(x) * 4);
-                            V::zero().store(planeZ.data() +
-                                            (static_cast<std::size_t>(y) * nx +
-                                             x) *
-                                                4);
-                        }
-                        continue;
-                    }
-                }
-
-                V fxm, fxp, fym, fyp, fzm, fzp;
-                if (useStag) {
-                    fxm = (x == 0) ? faceFluxV(sc, pW, pC) : carryX;
-                    fxp = faceFluxV(sc, pC, pE);
-                    carryX = fxp;
-
-                    double* ry = rowY.data() + static_cast<std::size_t>(x) * 4;
-                    fym = (y == 0) ? faceFluxV(sc, pS, pC) : V::load(ry);
-                    fyp = faceFluxV(sc, pC, pN_);
-                    fyp.store(ry);
-
-                    double* pz =
-                        planeZ.data() +
-                        (static_cast<std::size_t>(y) * nx + x) * 4;
-                    fzm = (z == z0) ? faceFluxV(sc, pB, pC) : V::load(pz);
-                    fzp = faceFluxV(sc, pC, pT);
-                    fzp.store(pz);
-                } else {
-                    fxm = faceFluxV(sc, pW, pC);
-                    fxp = faceFluxV(sc, pC, pE);
-                    fym = faceFluxV(sc, pS, pC);
-                    fyp = faceFluxV(sc, pC, pN_);
-                    fzm = faceFluxV(sc, pB, pC);
-                    fzp = faceFluxV(sc, pC, pT);
-                }
-
-                const V out = cellUpdate(sc, sv, pC, pW, pE, pS, pN_, pB, pT,
-                                         fxm, fxp, fym, fyp, fzm, fzp,
-                                         Mu(x, y, z, 0), Mu(x, y, z, 1));
-                storeCellPhases<kFzyx>(Dst, x, y, z, out);
-            }
-        }
-    }
-}
-
+namespace multicell4 {
+using V = simd::Vec4d;
+#include "core/phi_kernel_multicell_body.h"
+} // namespace multicell4
 } // namespace
 
 void phiSweepSimdCellwise(SimBlock& b, const StepContext& ctx, bool useTz,
                           bool useStag, bool shortcuts) {
-    if (b.phiSrc.layout() == Layout::fzyx)
-        phiSweepCellwiseImpl<true>(b, ctx, useTz, useStag, shortcuts);
-    else
-        phiSweepCellwiseImpl<false>(b, ctx, useTz, useStag, shortcuts);
+    cellwise4::phiSweepCellwiseBody(b, ctx, useTz, useStag, shortcuts);
 }
 
-// ---------------------------------------------------------------------------
-// Four-cell strategy
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Face flux for four consecutive faces along one axis, per phase a:
-/// inputs are per-phase vectors over the four cell pairs.
-inline void faceFlux4(const ModelConsts& mc, const V pL[N], const V pR[N],
-                      V flux[N]) {
-    const V half = V::broadcast(0.5);
-    const V invDx = V::broadcast(mc.invDx);
-    V pf[N], dp[N];
-    for (int a = 0; a < N; ++a) {
-        pf[a] = half * (pL[a] + pR[a]);
-        dp[a] = (pR[a] - pL[a]) * invDx;
-    }
-    for (int a = 0; a < N; ++a) {
-        V s = V::zero();
-        for (int bph = 0; bph < N; ++bph) {
-            if (bph == a) continue;
-            const V q = pf[a] * dp[bph] - pf[bph] * dp[a];
-            s += V::broadcast(mc.gamma[a][bph]) * pf[bph] * q;
-        }
-        flux[a] = V::broadcast(-2.0 * mc.eps) * s;
-    }
-}
-
-inline void loadPhase4(const Field<double>& f, int x, int y, int z, V out[N]) {
-    for (int a = 0; a < N; ++a) out[a] = V::loadu(f.ptr(x, y, z, a));
-}
-
-} // namespace
-
-void phiSweepSimdFourCell(SimBlock& blk, const StepContext& ctx) {
-    const ModelConsts& mc = ctx.mc;
-    TPF_ASSERT(ctx.tz != nullptr, "four-cell phi kernel requires a TzCache");
-    TPF_ASSERT(blk.phiSrc.layout() == Layout::fzyx,
-               "four-cell vectorization requires the fzyx (SoA) layout");
-    TPF_ASSERT(blk.size.x % 4 == 0,
-               "four-cell vectorization requires nx divisible by 4");
-    const Field<double>& P = blk.phiSrc;
-    const Field<double>& Mu = blk.muSrc;
-    Field<double>& Dst = blk.phiDst;
-    const int nx = blk.size.x, ny = blk.size.y, nz = blk.size.z;
-    const V one = V::broadcast(1.0);
-
-    for (int z = ctx.zLo(); z < ctx.zHi(nz); ++z) {
-        const SliceThermo st = ctx.tz->at(z);
-        const V Tt = V::broadcast(st.Tt);
-        for (int y = 0; y < ny; ++y) {
-            for (int x = 0; x < nx; x += 4) {
-                V pC[N], pW[N], pE[N], pS[N], pNn[N], pB[N], pT[N];
-                loadPhase4(P, x, y, z, pC);
-                loadPhase4(P, x - 1, y, z, pW);
-                loadPhase4(P, x + 1, y, z, pE);
-                loadPhase4(P, x, y - 1, z, pS);
-                loadPhase4(P, x, y + 1, z, pNn);
-                loadPhase4(P, x, y, z - 1, pB);
-                loadPhase4(P, x, y, z + 1, pT);
-
-                // Shortcut only if *all four* cells are bulk (paper: "can
-                // only take these shortcuts if the condition is true for all
-                // four cells").
-                {
-                    V::Mask bulkAll =
-                        (pC[0] == one) & (pW[0] == one) & (pE[0] == one) &
-                        (pS[0] == one) & (pNn[0] == one) & (pB[0] == one) &
-                        (pT[0] == one);
-                    for (int a = 1; a < N; ++a) {
-                        const auto bulkA = (pC[a] == one) & (pW[a] == one) &
-                                           (pE[a] == one) & (pS[a] == one) &
-                                           (pNn[a] == one) & (pB[a] == one) &
-                                           (pT[a] == one);
-                        bulkAll = bulkAll | bulkA;
-                    }
-                    if (bulkAll.all()) {
-                        for (int a = 0; a < N; ++a)
-                            pC[a].storeu(Dst.ptr(x, y, z, a));
-                        continue;
-                    }
-                }
-
-                V fxm[N], fxp[N], fym[N], fyp[N], fzm[N], fzp[N];
-                faceFlux4(mc, pW, pC, fxm);
-                faceFlux4(mc, pC, pE, fxp);
-                faceFlux4(mc, pS, pC, fym);
-                faceFlux4(mc, pC, pNn, fyp);
-                faceFlux4(mc, pB, pC, fzm);
-                faceFlux4(mc, pC, pT, fzp);
-
-                const V invDx = V::broadcast(mc.invDx);
-                const V hx = V::broadcast(mc.halfInvDx);
-
-                V div[N], g0[N], g1[N], g2[N];
-                for (int a = 0; a < N; ++a) {
-                    div[a] = (((fxp[a] - fxm[a]) + (fyp[a] - fym[a])) +
-                              (fzp[a] - fzm[a])) *
-                             invDx;
-                    g0[a] = (pE[a] - pW[a]) * hx;
-                    g1[a] = (pNn[a] - pS[a]) * hx;
-                    g2[a] = (pT[a] - pB[a]) * hx;
-                }
-
-                // da/dphi.
-                V dad[N];
-                for (int a = 0; a < N; ++a) {
-                    V s = V::zero();
-                    for (int bph = 0; bph < N; ++bph) {
-                        if (bph == a) continue;
-                        const V dot = (pC[a] * g0[bph] - pC[bph] * g0[a]) * g0[bph] +
-                                      (pC[a] * g1[bph] - pC[bph] * g1[a]) * g1[bph] +
-                                      (pC[a] * g2[bph] - pC[bph] * g2[a]) * g2[bph];
-                        s += V::broadcast(mc.gamma[a][bph]) * dot;
-                    }
-                    dad[a] = V::broadcast(2.0 * mc.eps) * s;
-                }
-
-                // Obstacle.
-                const V S = ((pC[0] + pC[1]) + (pC[2] + pC[3]));
-                V Pp = V::zero();
-                for (int a = 0; a < N; ++a)
-                    for (int bph = a + 1; bph < N; ++bph) Pp += pC[a] * pC[bph];
-                V dom[N];
-                for (int a = 0; a < N; ++a) {
-                    V s = V::zero();
-                    for (int bph = 0; bph < N; ++bph) {
-                        if (bph == a) continue;
-                        s += V::broadcast(mc.gamma[a][bph]) * pC[bph];
-                    }
-                    dom[a] = V::broadcast(mc.w16) * s +
-                             V::broadcast(mc.gamma3) *
-                                 (Pp - pC[a] * (S - pC[a]));
-                }
-
-                // Driving force.
-                const V mux = V::loadu(Mu.ptr(x, y, z, 0));
-                const V muy = V::loadu(Mu.ptr(x, y, z, 1));
-                const V s2 = ((pC[0] * pC[0] + pC[1] * pC[1]) +
-                              (pC[2] * pC[2] + pC[3] * pC[3]));
-                const V invS2 = one / s2;
-                V om[N], h[N];
-                V omBar = V::zero();
-                for (int a = 0; a < N; ++a) {
-                    const V quad =
-                        V::broadcast(0.5) *
-                        (V::broadcast(mc.kinvA[a]) * mux * mux +
-                         V::broadcast(2.0 * mc.kinvB[a]) * mux * muy +
-                         V::broadcast(mc.kinvD[a]) * muy * muy);
-                    om[a] = -quad -
-                            (mux * V::broadcast(st.xix[a]) +
-                             muy * V::broadcast(st.xiy[a])) +
-                            V::broadcast(st.om[a]);
-                    h[a] = pC[a] * pC[a] * invS2;
-                    omBar += om[a] * h[a];
-                }
-
-                V prop[N];
-                V rhs[N];
-                for (int a = 0; a < N; ++a) {
-                    const V dpsi = V::broadcast(2.0) * pC[a] * invS2 *
-                                   (om[a] - omBar);
-                    rhs[a] = Tt * (div[a] - dad[a]) -
-                             Tt * V::broadcast(mc.invEps) * dom[a] - dpsi;
-                }
-                const V mean = V::broadcast(0.25) *
-                               ((rhs[0] + rhs[1]) + (rhs[2] + rhs[3]));
-                for (int a = 0; a < N; ++a)
-                    prop[a] = pC[a] + V::broadcast(mc.dt) *
-                                          V::broadcast(mc.invTauEps[a]) *
-                                          (rhs[a] - mean);
-
-                simd::projectToSimplex4Lanes(prop[0], prop[1], prop[2],
-                                             prop[3]);
-                for (int a = 0; a < N; ++a) prop[a].storeu(Dst.ptr(x, y, z, a));
-            }
-        }
-    }
+void phiSweepSimdFourCell(SimBlock& b, const StepContext& ctx) {
+    multicell4::phiSweepMultiCellBody(b, ctx);
 }
 
 } // namespace tpf::core

@@ -338,6 +338,43 @@ void ruleCollectiveInConditional(const ScannedFile& f,
 }
 
 // ---------------------------------------------------------------------------
+// raw-intrinsics: x86 vector intrinsics live in src/simd only.
+//
+// The runtime dispatch (core/kernel_dispatch.h) compiles the same kernel
+// bodies once per ISA target; that stays bitwise-equivalent only because
+// every vector operation goes through the simd::Vec4d*/Vec8d* wrappers,
+// whose per-lane arithmetic is pinned by tests/test_simd.cpp. A raw __m256d
+// or _mm512_*() call anywhere else bypasses the abstraction: it hard-codes
+// one ISA, breaks the scalar/SSE2 fallback builds at compile time, and its
+// arithmetic is invisible to the cross-backend equivalence tests.
+// ---------------------------------------------------------------------------
+void ruleRawIntrinsics(const ScannedFile& f, std::vector<Finding>& out) {
+    static const char* kRule = "raw-intrinsics";
+    if (dirIs(f.path, "simd")) return;
+    static const std::regex re(
+        R"(__m(?:128|256|512)[di]?\b|__mmask(?:8|16|32|64)\b|\b_mm(?:256|512)?_[A-Za-z0-9_]+\s*\(|<immintrin\.h>)");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const std::string& line = f.code[i];
+        for (std::sregex_iterator it(line.begin(), line.end(), re), end;
+             it != end; ++it) {
+            const std::smatch& m = *it;
+            addFinding(out, f, kRule, static_cast<int>(i) + 1,
+                       static_cast<int>(m.position(0)) + 1,
+                       "raw x86 SIMD ('" + m[0].str() +
+                           "') outside src/simd: it hard-codes one ISA, "
+                           "breaks the scalar/SSE2 fallback builds and "
+                           "escapes the cross-backend bitwise-equivalence "
+                           "tests the runtime dispatch relies on",
+                       "go through the simd::Vec4d*/Vec8d* wrappers "
+                       "(src/simd/) and the width-generic kernel bodies; if "
+                       "a new operation is missing, add it to every backend "
+                       "plus tests/test_simd.cpp rather than inlining "
+                       "intrinsics here");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // assert-macro: library code uses TPF_ASSERT, not bare assert().
 //
 // assert() compiles away under NDEBUG — i.e. in every Release build, which
@@ -381,6 +418,9 @@ const std::vector<RuleInfo>& ruleCatalog() {
         {"collective-in-conditional",
          "no vmpi collective (barrier/allreduce/gather/bcast) inside a "
          "rank-conditional block (deadlocks the other ranks)"},
+        {"raw-intrinsics",
+         "no raw x86 SIMD (__m128d/__m256d/__m512d, _mm*_ calls, "
+         "<immintrin.h>) outside src/simd; use the Vec4d*/Vec8d* wrappers"},
         {"assert-macro",
          "library code asserts with TPF_ASSERT/TPF_ASSERT_DBG, never bare "
          "assert() (which vanishes under NDEBUG)"},
@@ -404,6 +444,7 @@ std::vector<Finding> lintScanned(const ScannedFile& f,
     if (on("unordered-iteration")) ruleUnorderedIteration(f, out);
     if (on("nondeterminism")) ruleNondeterminism(f, out);
     if (on("collective-in-conditional")) ruleCollectiveInConditional(f, out);
+    if (on("raw-intrinsics")) ruleRawIntrinsics(f, out);
     if (on("assert-macro")) ruleAssertMacro(f, out);
     return out;
 }

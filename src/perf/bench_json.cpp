@@ -1,0 +1,315 @@
+#include "perf/bench_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/thread_pool.h"
+
+namespace tpf::perf {
+
+namespace {
+
+std::string fmtDouble(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/// Recursive-descent parser for the documented schema subset. Tracks the
+/// line/column of the cursor so every failure points at its cause.
+struct Parser {
+    const std::string& s;
+    std::size_t i = 0;
+    int line = 1, col = 1;
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw BenchJsonError("bench json: line " + std::to_string(line) +
+                             ", col " + std::to_string(col) + ": " + msg);
+    }
+
+    bool done() const { return i >= s.size(); }
+
+    char peek() const {
+        if (done()) fail("unexpected end of document");
+        return s[i];
+    }
+
+    char take() {
+        const char c = peek();
+        ++i;
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    void skipWs() {
+        while (!done() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                           s[i] == '\r'))
+            take();
+    }
+
+    void expect(char c) {
+        skipWs();
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', found '" + peek() + "'");
+        take();
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = take();
+            if (c == '"') return out;
+            if (c == '\n') fail("unterminated string");
+            if (c == '\\') {
+                const char e = take();
+                if (e != '"' && e != '\\')
+                    fail(std::string("unsupported escape '\\") + e + "'");
+                out.push_back(e);
+                continue;
+            }
+            out.push_back(c);
+        }
+    }
+
+    double parseNumber() {
+        skipWs();
+        const std::size_t start = i;
+        while (!done() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+                s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == 'n' || s[i] == 'a' || s[i] == 'i' || s[i] == 'f'))
+            take();
+        if (i == start) fail("expected a number");
+        const std::string tok = s.substr(start, i - start);
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("malformed number \"" + tok + "\"");
+        return v;
+    }
+
+    /// ',' between elements, or \p close ending the sequence.
+    bool moreElements(char close) {
+        skipWs();
+        if (peek() == close) {
+            take();
+            return false;
+        }
+        if (peek() != ',')
+            fail(std::string("expected ',' or '") + close + "', found '" +
+                 peek() + "'");
+        take();
+        return true;
+    }
+
+    BenchEntry parseEntry() {
+        expect('{');
+        BenchEntry e;
+        bool haveBench = false, haveVariant = false, haveMlups = false;
+        skipWs();
+        if (peek() == '}') fail("empty entry object");
+        do {
+            const std::string key = parseString();
+            expect(':');
+            if (key == "bench") {
+                e.bench = parseString();
+                haveBench = true;
+            } else if (key == "variant") {
+                e.variant = parseString();
+                haveVariant = true;
+            } else if (key == "mlups") {
+                e.mlups = parseNumber();
+                haveMlups = true;
+            } else if (key == "bytes_per_cell") {
+                e.bytesPerCell = parseNumber();
+            } else {
+                fail("unknown entry key \"" + key + "\"");
+            }
+        } while (moreElements('}'));
+        if (!haveBench) fail("entry without \"bench\"");
+        if (!haveVariant) fail("entry without \"variant\"");
+        if (!haveMlups) fail("entry without \"mlups\"");
+        return e;
+    }
+
+    BenchDoc parseDoc() {
+        expect('{');
+        BenchDoc doc;
+        bool haveSchema = false, haveMachine = false, haveEntries = false;
+        skipWs();
+        if (peek() == '}') fail("empty document object");
+        do {
+            const std::string key = parseString();
+            expect(':');
+            if (key == "schema") {
+                const std::string schema = parseString();
+                if (schema != kBenchSchema)
+                    fail("unsupported schema \"" + schema + "\" (expected \"" +
+                         kBenchSchema + "\")");
+                haveSchema = true;
+            } else if (key == "machine") {
+                doc.machine = parseString();
+                haveMachine = true;
+            } else if (key == "entries") {
+                expect('[');
+                skipWs();
+                if (peek() == ']')
+                    take();
+                else
+                    do doc.entries.push_back(parseEntry());
+                    while (moreElements(']'));
+                haveEntries = true;
+            } else {
+                fail("unknown document key \"" + key + "\"");
+            }
+        } while (moreElements('}'));
+        if (!haveSchema) fail("document without \"schema\"");
+        if (!haveMachine) fail("document without \"machine\"");
+        if (!haveEntries) fail("document without \"entries\"");
+        skipWs();
+        if (!done()) fail("trailing content after the document");
+        return doc;
+    }
+};
+
+} // namespace
+
+std::string writeBenchJson(const BenchDoc& doc) {
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"" + std::string(kBenchSchema) + "\",\n";
+    out += "  \"machine\": \"" + escaped(doc.machine) + "\",\n";
+    out += "  \"entries\": [";
+    for (std::size_t k = 0; k < doc.entries.size(); ++k) {
+        const BenchEntry& e = doc.entries[k];
+        out += k == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += "      \"bench\": \"" + escaped(e.bench) + "\",\n";
+        out += "      \"variant\": \"" + escaped(e.variant) + "\",\n";
+        out += "      \"mlups\": " + fmtDouble(e.mlups) + ",\n";
+        out += "      \"bytes_per_cell\": " + fmtDouble(e.bytesPerCell) + "\n";
+        out += "    }";
+    }
+    out += doc.entries.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+BenchDoc parseBenchJson(const std::string& text) {
+    Parser p{text};
+    return p.parseDoc();
+}
+
+BenchDoc readBenchJsonFile(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) throw BenchJsonError("bench json: cannot open " + path);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    try {
+        return parseBenchJson(text);
+    } catch (const BenchJsonError& e) {
+        throw BenchJsonError(path + ": " + e.what());
+    }
+}
+
+void writeBenchJsonFile(const std::string& path, const BenchDoc& doc) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) throw BenchJsonError("bench json: cannot write " + path);
+    const std::string text = writeBenchJson(doc);
+    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (n != text.size())
+        throw BenchJsonError("bench json: short write to " + path);
+}
+
+void upsertBenchEntries(BenchDoc& doc, const std::vector<BenchEntry>& add) {
+    for (const BenchEntry& e : add) {
+        bool replaced = false;
+        for (BenchEntry& have : doc.entries) {
+            if (have.bench == e.bench && have.variant == e.variant) {
+                have = e;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced) doc.entries.push_back(e);
+    }
+}
+
+void upsertBenchFile(const std::string& path,
+                     const std::vector<BenchEntry>& add) {
+    BenchDoc doc;
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        doc = readBenchJsonFile(path);
+    } else {
+        doc.machine = machineFingerprint();
+    }
+    upsertBenchEntries(doc, add);
+    writeBenchJsonFile(path, doc);
+}
+
+BenchDiff diffBench(const BenchDoc& baseline, const BenchDoc& candidate,
+                    double relTol) {
+    if (baseline.machine != candidate.machine)
+        return {true, "different machines (\"" + baseline.machine +
+                          "\" vs \"" + candidate.machine +
+                          "\") — trajectory not comparable"};
+    for (const BenchEntry& b : baseline.entries) {
+        const BenchEntry* c = nullptr;
+        for (const BenchEntry& e : candidate.entries)
+            if (e.bench == b.bench && e.variant == b.variant) {
+                c = &e;
+                break;
+            }
+        if (!c)
+            return {false, "entry " + b.bench + " / " + b.variant +
+                               " disappeared from the candidate"};
+        const double floor = b.mlups * (1.0 - relTol);
+        if (c->mlups < floor)
+            return {false, "entry " + b.bench + " / " + b.variant +
+                               " regressed: " + fmtDouble(c->mlups) +
+                               " MLUP/s vs baseline " + fmtDouble(b.mlups) +
+                               " (floor " + fmtDouble(floor) + ")"};
+    }
+    return {true, "ok"};
+}
+
+std::string machineFingerprint() {
+    std::string s;
+#if defined(__x86_64__) || defined(_M_X64)
+    s = "x86-64";
+#if defined(__GNUC__) || defined(__clang__)
+    if (__builtin_cpu_supports("fma")) s += " fma";
+    if (__builtin_cpu_supports("avx2")) s += " avx2";
+    if (__builtin_cpu_supports("avx512f")) s += " avx512f";
+#endif
+#else
+    s = "unknown-arch";
+#endif
+    s += ", " + std::to_string(util::ThreadPool::hardwareThreads()) +
+         " hw threads";
+    return s;
+}
+
+} // namespace tpf::perf

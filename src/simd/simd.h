@@ -10,6 +10,7 @@
 
 #include "simd/vec4d_scalar.h"
 #include "simd/vec4d_sse2.h"
+#include "simd/vec8d_scalar.h"
 
 #if defined(__AVX2__)
 #include "simd/vec4d_avx2.h"
@@ -26,6 +27,19 @@ inline constexpr bool kHasAvx2 = false;
 namespace tpf::simd {
 using Vec4d = Vec4dScalar;
 inline constexpr bool kHasAvx2 = false;
+}
+#endif
+
+#if defined(__AVX512F__)
+#include "simd/vec8d_avx512.h"
+namespace tpf::simd {
+using Vec8d = Vec8dAvx512;
+inline constexpr bool kHasAvx512 = true;
+}
+#else
+namespace tpf::simd {
+using Vec8d = Vec8dScalar;
+inline constexpr bool kHasAvx512 = false;
 }
 #endif
 

@@ -13,6 +13,8 @@
 namespace tpf::simd {
 
 struct Vec4dAvx2 {
+    static constexpr int width = 4;
+
     __m256d v;
 
     struct Mask {

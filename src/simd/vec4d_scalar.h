@@ -11,6 +11,8 @@
 namespace tpf::simd {
 
 struct Vec4dScalar {
+    static constexpr int width = 4;
+
     double v[4];
 
     /// Boolean lane mask companion type.

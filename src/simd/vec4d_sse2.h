@@ -19,6 +19,8 @@
 namespace tpf::simd {
 
 struct Vec4dSse2 {
+    static constexpr int width = 4;
+
     __m128d lo; ///< lanes 0, 1
     __m128d hi; ///< lanes 2, 3
 

@@ -41,3 +41,9 @@ double reportFraction(Comm& comm, double local) {
 void checkBounds(int i, int n) {
     assert(i >= 0 && i < n); // rule: assert-macro
 }
+
+double rawIntrinsicLoad(const double* p) {
+    auto v = _mm256_loadu_pd(p); // rule: raw-intrinsics (bypasses simd::Vec4d)
+    (void)v;
+    return p[0];
+}

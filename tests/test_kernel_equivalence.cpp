@@ -1,0 +1,245 @@
+/// The kernel-equivalence lockdown of the fused schedule and the runtime
+/// SIMD dispatch (docs/KERNELS.md):
+///
+///   1. The fused phi/mu sweep must be **bitwise** identical to the split
+///      schedule — for ranks {1,2} x threads {1,4} x moving window {on,off},
+///      with the production mu-overlap communication hiding on, and for
+///      every dispatch target the host CPU can run.
+///   2. Every dispatch target (scalar / sse2 / avx2 / avx512) must produce
+///      bitwise the same fields as every other, under both schedules.
+///
+/// Both contracts are exact (memcmp over the interiors), so any reassociation
+/// slipped into a width-8 body, a wrong slab halo in the fused pipeline, or a
+/// misordered ghost exchange fails loudly rather than drifting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/kernel_dispatch.h"
+#include "core/solver.h"
+#include "vmpi/comm.h"
+
+namespace tpf {
+namespace {
+
+/// Restores the startup dispatch choice no matter how a test exits.
+struct TargetGuard {
+    ~TargetGuard() { core::setKernelTarget("auto"); }
+};
+
+core::SolverConfig makeConfig(int ranks, int threads, bool window,
+                              core::SweepSchedule schedule) {
+    core::SolverConfig cfg;
+    cfg.globalCells = {16, 16, 32};
+    if (ranks > 1) cfg.blockSize = {16, 16, 32 / ranks};
+    cfg.threads = threads;
+    cfg.schedule = schedule;
+    cfg.overlapMu = true; // the paper's production communication hiding
+    cfg.model.temp.gradient = 0.5;
+    cfg.model.temp.zEut0 = 12.0;
+    if (window) {
+        // Window-heavy scenario borrowed from the restart tests: the solid
+        // fill starts far above the trigger, so shifts happen mid-run and the
+        // fused schedule has to get the shifted ghosts right too.
+        cfg.model.temp.velocity = 0.02;
+        cfg.init.fillHeight = 26;
+        cfg.window.enabled = true;
+        cfg.window.triggerFraction = 0.2;
+        cfg.window.checkEvery = 8;
+    } else {
+        cfg.init.fillHeight = 10;
+    }
+    return cfg;
+}
+
+/// Interior phi + mu of all local blocks, flattened in a fixed order.
+std::vector<double> snapshot(core::Solver& s) {
+    std::vector<double> out;
+    for (auto& bp : s.localBlocks()) {
+        for (const Field<double>* f : {&bp->phiSrc, &bp->muSrc}) {
+            const CellInterval in = f->interior();
+            for (int c = 0; c < f->nf(); ++c)
+                for (int z = in.zMin; z <= in.zMax; ++z)
+                    for (int y = in.yMin; y <= in.yMax; ++y)
+                        for (int x = in.xMin; x <= in.xMax; ++x)
+                            out.push_back((*f)(x, y, z, c));
+        }
+    }
+    return out;
+}
+
+/// Empty string when bitwise equal, else a pointed first-difference message.
+std::string diffSnapshots(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+    if (a.size() != b.size())
+        return "snapshot sizes differ: " + std::to_string(a.size()) + " vs " +
+               std::to_string(b.size());
+    if (a.empty() ||
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0)
+        return {};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "first difference at flat index %zu: %.17g vs %.17g",
+                          i, a[i], b[i]);
+            return buf;
+        }
+    }
+    return "memcmp differs but no differing element found (padding?)";
+}
+
+/// Runs \p steps under the given schedule on \p ranks virtual ranks and
+/// returns one interior snapshot per rank (plus the final window offset).
+struct RunResult {
+    std::vector<std::vector<double>> perRank;
+    double windowOffset = 0.0;
+};
+
+RunResult runSchedule(const core::SolverConfig& cfg, int ranks, int steps) {
+    RunResult r;
+    r.perRank.resize(static_cast<std::size_t>(ranks));
+    auto body = [&](vmpi::Comm* comm) {
+        const int rank = comm ? comm->rank() : 0;
+        core::Solver s(cfg, comm);
+        s.initialize();
+        s.run(steps);
+        r.perRank[static_cast<std::size_t>(rank)] = snapshot(s);
+        if (!comm || comm->isRoot()) r.windowOffset = s.windowOffsetCells();
+    };
+    if (ranks == 1)
+        body(nullptr);
+    else
+        vmpi::runParallel(ranks, [&](vmpi::Comm& comm) { body(&comm); });
+    return r;
+}
+
+constexpr int kSteps = 12;
+
+/// Contract 1: fused == split, bitwise, across the full ranks x threads x
+/// window matrix with the startup dispatch target.
+TEST(KernelEquivalence, FusedMatchesSplitBitwise) {
+    for (const int ranks : {1, 2}) {
+        for (const int threads : {1, 4}) {
+            for (const bool window : {false, true}) {
+                SCOPED_TRACE("ranks=" + std::to_string(ranks) +
+                             " threads=" + std::to_string(threads) +
+                             " window=" + std::to_string(window));
+                const RunResult split = runSchedule(
+                    makeConfig(ranks, threads, window,
+                               core::SweepSchedule::Split),
+                    ranks, kSteps);
+                const RunResult fused = runSchedule(
+                    makeConfig(ranks, threads, window,
+                               core::SweepSchedule::Fused),
+                    ranks, kSteps);
+                if (window) {
+                    // The scenario must actually shift mid-run, otherwise
+                    // the window leg of this matrix proves nothing.
+                    EXPECT_GT(split.windowOffset, 0.0)
+                        << "no window shift in the window-on scenario";
+                }
+                for (int rk = 0; rk < ranks; ++rk) {
+                    const std::string d = diffSnapshots(
+                        split.perRank[static_cast<std::size_t>(rk)],
+                        fused.perRank[static_cast<std::size_t>(rk)]);
+                    EXPECT_TRUE(d.empty()) << "rank " << rk << ": " << d;
+                }
+            }
+        }
+    }
+}
+
+/// Contract 2: every available dispatch target reproduces the narrowest
+/// (scalar) target bitwise, under both schedules, serial and threaded+ranked.
+TEST(KernelEquivalence, DispatchTargetsMatchBitwise) {
+    TargetGuard guard;
+    const auto targets = core::availableKernelTargets();
+    ASSERT_FALSE(targets.empty());
+    ASSERT_STREQ(targets.front()->name, "scalar")
+        << "scalar fallback target must always be available";
+
+    // (ranks, threads) legs: serial, and the threaded multi-rank worst case.
+    const struct {
+        int ranks, threads;
+    } legs[] = {{1, 1}, {2, 4}};
+
+    for (const auto& leg : legs) {
+        for (const bool window : {false, true}) {
+            for (const auto schedule : {core::SweepSchedule::Split,
+                                        core::SweepSchedule::Fused}) {
+                SCOPED_TRACE(
+                    "ranks=" + std::to_string(leg.ranks) +
+                    " threads=" + std::to_string(leg.threads) +
+                    " window=" + std::to_string(window) + " schedule=" +
+                    (schedule == core::SweepSchedule::Fused ? "fused"
+                                                            : "split"));
+                const core::SolverConfig cfg =
+                    makeConfig(leg.ranks, leg.threads, window, schedule);
+
+                RunResult ref;
+                for (const core::KernelTarget* t : targets) {
+                    SCOPED_TRACE(std::string("target=") + t->name);
+                    ASSERT_TRUE(core::setKernelTarget(t->name));
+                    RunResult got = runSchedule(cfg, leg.ranks, kSteps);
+                    if (t == targets.front()) {
+                        ref = std::move(got);
+                        continue;
+                    }
+                    for (int rk = 0; rk < leg.ranks; ++rk) {
+                        const std::string d = diffSnapshots(
+                            ref.perRank[static_cast<std::size_t>(rk)],
+                            got.perRank[static_cast<std::size_t>(rk)]);
+                        EXPECT_TRUE(d.empty())
+                            << "rank " << rk << ": " << d;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The dispatch plumbing itself: unknown names are rejected without changing
+/// the selection, "auto" restores the widest target, and the kernel-spec
+/// parser splits schedule and target tokens correctly.
+TEST(KernelEquivalence, DispatchSelection) {
+    TargetGuard guard;
+    const auto targets = core::availableKernelTargets();
+    const core::KernelTarget* widest = targets.back();
+
+    EXPECT_TRUE(core::setKernelTarget("auto"));
+    EXPECT_EQ(core::activeKernelTarget(), widest);
+
+    EXPECT_FALSE(core::setKernelTarget("avx9000"));
+    EXPECT_EQ(core::activeKernelTarget(), widest) << "failed set must not "
+                                                     "change the selection";
+
+    EXPECT_TRUE(core::setKernelTarget("scalar"));
+    EXPECT_STREQ(core::activeKernelTarget()->name, "scalar");
+    EXPECT_EQ(core::activeKernelTarget()->width, 4);
+
+    core::KernelSpec spec;
+    std::string err;
+    EXPECT_TRUE(core::parseKernelSpec("fused:avx2", spec, err)) << err;
+    EXPECT_EQ(spec.schedule, core::SweepSchedule::Fused);
+    EXPECT_EQ(spec.target, "avx2");
+
+    EXPECT_TRUE(core::parseKernelSpec("scalar", spec, err)) << err;
+    EXPECT_EQ(spec.schedule, core::SweepSchedule::Split);
+    EXPECT_EQ(spec.target, "scalar");
+
+    EXPECT_TRUE(core::parseKernelSpec("split", spec, err)) << err;
+    EXPECT_EQ(spec.target, "auto");
+
+    EXPECT_FALSE(core::parseKernelSpec("fused:fused", spec, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(core::parseKernelSpec("bogus", spec, err));
+    EXPECT_FALSE(core::parseKernelSpec("", spec, err));
+}
+
+} // namespace
+} // namespace tpf

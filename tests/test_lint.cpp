@@ -258,6 +258,50 @@ TEST(LintCollective, VmpiImplementationIsExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(LintIntrinsics, FlagsRawVectorTypeAndCallOutsideSimd) {
+    const auto fs = lintSource("src/core/kernels.cpp",
+                               "__m256d v = _mm256_add_pd(a, b);\n");
+    ASSERT_EQ(fs.size(), 2u); // the type and the intrinsic call
+    EXPECT_EQ(fs[0].rule, "raw-intrinsics");
+    EXPECT_EQ(fs[1].rule, "raw-intrinsics");
+    EXPECT_NE(fs[0].hint.find("simd"), std::string::npos);
+}
+
+TEST(LintIntrinsics, FlagsAvx512TypesMasksAndTheIncludeEverywhere) {
+    EXPECT_EQ(lintSource("src/core/x.cpp", "__m512d acc;\n").size(), 1u);
+    EXPECT_EQ(lintSource("src/comm/x.cpp", "__mmask8 m;\n").size(), 1u);
+    EXPECT_EQ(lintSource("src/grid/x.cpp", "__m128d lo;\n").size(), 1u);
+    EXPECT_EQ(
+        lintSource("src/io/x.cpp", "#include <immintrin.h>\n").size(), 1u);
+    EXPECT_EQ(
+        lintSource("src/perf/x.cpp", "x = _mm512_reduce_add_pd(v);\n").size(),
+        1u);
+}
+
+TEST(LintIntrinsics, SimdBackendsAndWrapperUseAreFine) {
+    EXPECT_TRUE(lintSource("src/simd/vec4d_avx2.h",
+                           "#include <immintrin.h>\n"
+                           "__m256d v = _mm256_add_pd(a.v, b.v);\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/core/kernels.cpp",
+                           "auto v = simd::Vec4d::loadu(p);\n"
+                           "V sum = V::fmadd(a, b, c);\n"
+                           "if (__builtin_cpu_supports(\"avx2\")) select();\n")
+                    .empty());
+}
+
+TEST(LintIntrinsics, SuppressionCommentSilences) {
+    const auto fs = lintSource(
+        "src/core/probe.cpp",
+        "auto v = _mm256_loadu_pd(p); "
+        "// tpf-lint: allow(raw-intrinsics) -- cpuid probe scaffolding\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
 // assert-macro
 // ---------------------------------------------------------------------------
 
@@ -349,6 +393,7 @@ TEST(LintFixture, SeededViolationFileTriggersEveryRule) {
               (std::vector<std::string>{"assert-macro",
                                         "collective-in-conditional",
                                         "fastmath", "nondeterminism",
+                                        "raw-intrinsics",
                                         "unordered-iteration"}));
 }
 
