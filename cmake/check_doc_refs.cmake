@@ -15,7 +15,8 @@ set(checked_docs
     "${REPO_ROOT}/README.md"
     "${REPO_ROOT}/docs/ARCHITECTURE.md"
     "${REPO_ROOT}/docs/KERNELS.md"
-    "${REPO_ROOT}/docs/CORRECTNESS.md")
+    "${REPO_ROOT}/docs/CORRECTNESS.md"
+    "${REPO_ROOT}/docs/TRANSPORT.md")
 
 set(missing "")
 foreach(doc IN LISTS checked_docs)

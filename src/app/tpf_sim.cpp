@@ -262,7 +262,7 @@ int main(int argc, char** argv) {
         "block", {0, 0, 0},
         "block size (0,0,0: one block per domain, auto z-split for ranks>1)");
     opt.steps = cli.getInt("steps", 400, "number of time steps");
-    opt.ranks = cli.getInt("ranks", 1, "thread-backed ranks");
+    opt.ranks = cli.getInt("ranks", 1, "virtual ranks (see --transport)");
     const int threads = cli.getInt(
         "threads", 1,
         "intra-rank sweep threads per rank (hybrid: ranks x threads cores)");
@@ -301,6 +301,11 @@ int main(int argc, char** argv) {
     opt.outdir = cli.getString("out", "tpf_output", "output directory");
     const std::string overlap = cli.getString(
         "overlap", "mu", "communication hiding: none, mu, phi, both");
+    const std::string transportFlag = cli.getString(
+        "transport", "",
+        "message transport for --ranks > 1: thread (in-process), shm "
+        "(forked processes over shared memory), mpi (TPF_WITH_MPI builds "
+        "under mpirun); default: $TPF_TRANSPORT, else thread");
     const bool window =
         cli.getFlag("window", "enable the moving window (solidify only)");
     const std::string kernelFlag = cli.getString(
@@ -554,15 +559,31 @@ int main(int argc, char** argv) {
         }
     }
 
+    vmpi::TransportKind transport = vmpi::defaultTransport();
+    if (!transportFlag.empty()) {
+        if (!vmpi::parseTransportName(transportFlag, transport)) {
+            std::fprintf(stderr, "unknown --transport '%s' (thread, shm, mpi)\n",
+                         transportFlag.c_str());
+            return 2;
+        }
+        if (!vmpi::transportCompiledIn(transport)) {
+            std::fprintf(stderr,
+                         "--transport mpi requires a TPF_WITH_MPI=ON build\n");
+            return 2;
+        }
+    }
+
     std::filesystem::create_directories(opt.outdir);
 
     std::printf("tpf-sim: scenario=%s  %dx%dx%d cells, %d steps, "
                 "%d rank(s) x %d thread(s)\n"
-                "         G=%.3f K/cell  v=%.4f cells/t  overlap=%s%s\n"
+                "         G=%.3f K/cell  v=%.4f cells/t  overlap=%s%s  "
+                "transport=%s\n"
                 "         kernel=%s (%d-wide)  schedule=%s\n\n",
                 opt.scenario.c_str(), size.x, size.y, size.z, opt.steps,
                 opt.ranks, threads, gradient, velocity, overlap.c_str(),
                 window ? "  moving-window" : "",
+                opt.ranks == 1 ? "(serial)" : vmpi::transportName(transport),
                 core::activeKernelTarget()->name,
                 core::activeKernelTarget()->width,
                 cfg.schedule == core::SweepSchedule::Fused ? "fused"
@@ -572,7 +593,7 @@ int main(int argc, char** argv) {
         if (opt.ranks == 1) {
             runRank(opt, cfg, nullptr);
         } else {
-            vmpi::runParallel(opt.ranks, [&](vmpi::Comm& comm) {
+            vmpi::runParallel(transport, opt.ranks, [&](vmpi::Comm& comm) {
                 runRank(opt, cfg, &comm);
             });
         }

@@ -136,6 +136,14 @@ GhostExchange::GhostExchange(const BlockForest& bf, vmpi::Comm* comm,
     TPF_ASSERT(fieldSlot >= 0 && fieldSlot < kMaxFieldSlots, "field slot range");
 }
 
+GhostExchange::~GhostExchange() {
+    // This was the one silent drop site for pending requests: letting
+    // recvs_ die with live requests while an exception unwinds through an
+    // in-flight exchange. Waiting here could deadlock (the peer may be the
+    // rank that failed), so cancel instead — the run is over anyway.
+    for (auto& rr : recvs_) rr.request.cancel();
+}
+
 void GhostExchange::registerField(int blockIdx, Field<double>* field) {
     TPF_ASSERT(field != nullptr, "null field");
     TPF_ASSERT(field->ghost() == 1, "exchange is implemented for one ghost layer");
@@ -157,6 +165,36 @@ void GhostExchange::start() {
     const auto& offsets = stencilOffsets(stencil_);
 
     recvs_.clear();
+
+    // Post every receive BEFORE packing or sending anything. We know each
+    // incoming slab's exact size (the ghost region of the receiving block),
+    // so transports that need a pre-sized landing buffer for true async
+    // progress (MPI_Irecv) get one up front — peers' messages can then
+    // arrive and complete while this rank runs its interior sweep between
+    // start() and wait(), which is what makes the communication hiding of
+    // paper Algorithm 2 a real latency hider.
+    for (std::size_t i = 0; i < blockIdx_.size(); ++i) {
+        const int b = blockIdx_[i];
+        for (const Int3& o : offsets) {
+            const auto nb = bf_.neighbor(b, o.x, o.y, o.z);
+            if (!nb || nb->rank == myRank_) continue;
+            RemoteRecv rr;
+            rr.blockIdx = b;
+            rr.fromOffset = o;
+            rr.srcRank = nb->rank;
+            rr.tag = (b * 27 + offsetIndex27(o)) * kMaxFieldSlots + fieldSlot_;
+            recvs_.push_back(std::move(rr));
+        }
+    }
+    // Second pass only after recvs_ stopped growing: the posted requests
+    // hold pointers into the buffers, which must not reallocate.
+    for (auto& rr : recvs_) {
+        const Field<double>& f = *fieldOf(rr.blockIdx);
+        const std::size_t bytes =
+            static_cast<std::size_t>(ghostRegion(f, rr.fromOffset).numCells()) *
+            static_cast<std::size_t>(f.nf()) * sizeof(double);
+        rr.request = comm_->irecv(rr.srcRank, rr.tag, &rr.buffer, bytes);
+    }
 
     for (std::size_t i = 0; i < blockIdx_.size(); ++i) {
         const int b = blockIdx_[i];
@@ -184,22 +222,7 @@ void GhostExchange::start() {
                 bytesSent_ += packBuffer_.size() * sizeof(double);
             }
         }
-
-        // Post receives for every remote neighbor that will send to us.
-        for (const Int3& o : offsets) {
-            const auto nb = bf_.neighbor(b, o.x, o.y, o.z);
-            if (!nb || nb->rank == myRank_) continue;
-            RemoteRecv rr;
-            rr.blockIdx = b;
-            rr.fromOffset = o;
-            rr.srcRank = nb->rank;
-            rr.tag = (b * 27 + offsetIndex27(o)) * kMaxFieldSlots + fieldSlot_;
-            recvs_.push_back(std::move(rr));
-        }
     }
-
-    for (auto& rr : recvs_)
-        rr.request = comm_->irecv(rr.srcRank, rr.tag, &rr.buffer);
 
     inFlight_ = true;
     startSeconds_ += now() - t0;

@@ -37,6 +37,12 @@ public:
     GhostExchange(const BlockForest& bf, vmpi::Comm* comm, StencilKind stencil,
                   int fieldSlot);
 
+    /// Destroying an in-flight exchange (an exception unwinding between
+    /// start() and wait(), e.g. a failed collective checkpoint agreement in
+    /// an overlapped schedule) cancels the posted receives explicitly — a
+    /// dropped vmpi::Request is otherwise a hard assert.
+    ~GhostExchange();
+
     /// Register the field of local block \p blockIdx. All registered fields
     /// must have identical shape and one ghost layer.
     void registerField(int blockIdx, Field<double>* field);

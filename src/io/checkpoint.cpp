@@ -329,7 +329,7 @@ bool validateAgainstSolver(const ParsedRank& pr, const core::Solver& solver,
 
 bool agree(vmpi::Comm* comm, bool localOk) {
     if (!comm || comm->size() == 1) return localOk;
-    return comm->allreduceMin(localOk ? 1.0 : 0.0) > 0.5;
+    return comm->allAgree(localOk);
 }
 
 [[noreturn]] void throwCollective(const std::string& localErr,

@@ -252,8 +252,12 @@ void ruleCollectiveInConditional(const ScannedFile& f,
     static const std::regex rankCondRe(
         R"(isRoot\s*\(|\b\w*[Rr]ank\w*\s*(\(\s*\))?\s*[=!]=|[=!]=\s*\w*[Rr]ank\b)");
     static const std::regex ifRe(R"((^|[^\w])(if|while)\s*\()");
+    // Covers the Comm surface (barrier/allreduce*/gather*/bcast/allAgree)
+    // AND the Transport vtable spellings (t->barrier()), so code talking to
+    // the transport layer directly cannot smuggle a collective into a rank
+    // branch either. postRecv/waitRecv are point-to-point, not collectives.
     static const std::regex collRe(
-        R"((^|[^\w.]|\.|->)(barrier|allreduce(?:Sum|Min|Max|SumLL)?|gather|gatherAllBytes|bcast)\s*\()");
+        R"((^|[^\w.]|\.|->)(barrier|allreduce(?:Sum|Min|Max|SumLL)?|gather|gatherAllBytes|bcast|allAgree|nextCollectiveSeq)\s*\()");
 
     // Brace-depth bookkeeping: depths at which a rank-conditional block is
     // open. `pending` covers the region between the rank-`if` and its `{`
@@ -416,8 +420,9 @@ const std::vector<RuleInfo>& ruleCatalog() {
          "no rand()/time()/std::chrono/std::random_device in deterministic "
          "paths; use util/random.h or suppress observational timing"},
         {"collective-in-conditional",
-         "no vmpi collective (barrier/allreduce/gather/bcast) inside a "
-         "rank-conditional block (deadlocks the other ranks)"},
+         "no vmpi collective (barrier/allreduce/gather/bcast/allAgree, or "
+         "the Transport vtable spellings) inside a rank-conditional block "
+         "(deadlocks the other ranks)"},
         {"raw-intrinsics",
          "no raw x86 SIMD (__m128d/__m256d/__m512d, _mm*_ calls, "
          "<immintrin.h>) outside src/simd; use the Vec4d*/Vec8d* wrappers"},

@@ -1,129 +1,56 @@
 #include "vmpi/comm.h"
 
-#include <atomic>
-#include <chrono>
-#include <exception>
-#include <thread>
+#include "vmpi/transport_spawn.h"
 
 namespace tpf::vmpi {
 
-namespace {
-/// How long a blocking receive may stall before we declare a deadlock.
-/// Generous enough for heavily oversubscribed CI machines; small enough that a
-/// genuinely deadlocked test fails with a diagnostic instead of hanging.
-// tpf-lint: allow(nondeterminism) -- deadlock-detection timeout for blocking
-// receives; only decides when to abort a hung run, never a simulation value.
-constexpr auto kRecvTimeout = std::chrono::seconds(120);
-} // namespace
-
-/// Mailbox: the per-rank receive queue.
-class Mailbox {
-public:
-    void push(Message msg) {
-        {
-            std::lock_guard<std::mutex> lock(mtx_);
-            queue_.push_back(std::move(msg));
-        }
-        cv_.notify_all();
-    }
-
-    /// Pop the first message matching (src, tag); blocks until one arrives.
-    Message pop(int src, int tag) {
-        std::unique_lock<std::mutex> lock(mtx_);
-        for (;;) {
-            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-                if (it->src == src && it->tag == tag) {
-                    Message m = std::move(*it);
-                    queue_.erase(it);
-                    return m;
-                }
-            }
-            if (cv_.wait_for(lock, kRecvTimeout) == std::cv_status::timeout)
-                TPF_ASSERT(false, "vmpi receive timed out (likely deadlock)");
-        }
-    }
-
-private:
-    std::mutex mtx_;
-    std::condition_variable cv_;
-    std::deque<Message> queue_;
-};
-
-/// Shared state of one virtual MPI world.
-class World {
-public:
-    explicit World(int n) : size_(n), mailboxes_(static_cast<std::size_t>(n)) {
-        for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
-    }
-
-    int size() const { return size_; }
-    Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
-
-    /// Central sense-reversing barrier.
-    void barrier() {
-        std::unique_lock<std::mutex> lock(barrierMtx_);
-        const std::size_t gen = barrierGen_;
-        if (++barrierCount_ == size_) {
-            barrierCount_ = 0;
-            ++barrierGen_;
-            barrierCv_.notify_all();
-        } else {
-            barrierCv_.wait(lock, [&] { return barrierGen_ != gen; });
-        }
-    }
-
-private:
-    int size_;
-    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-
-    std::mutex barrierMtx_;
-    std::condition_variable barrierCv_;
-    int barrierCount_ = 0;
-    std::size_t barrierGen_ = 0;
-};
-
 void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
-    TPF_ASSERT(dst >= 0 && dst < size_, "invalid destination rank");
-    Message m;
-    m.src = rank_;
-    m.tag = tag;
-    m.data.resize(bytes);
-    if (bytes > 0) std::memcpy(m.data.data(), data, bytes);
-    world_->mailbox(dst).push(std::move(m));
+    transport_->send(dst, tag, data, bytes);
 }
 
 void Comm::recv(int src, int tag, std::vector<std::byte>& out) {
-    TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
-    out = world_->mailbox(rank_).pop(src, tag).data;
+    transport_->recv(src, tag, out);
 }
 
-Request Comm::irecv(int src, int tag, std::vector<std::byte>* out) {
+Request Comm::irecv(int src, int tag, std::vector<std::byte>* out,
+                    std::size_t bytesHint) {
     TPF_ASSERT(out != nullptr, "irecv needs an output buffer");
     Request r;
-    r.src_ = src;
-    r.tag_ = tag;
+    r.transport_ = transport_;
+    r.handle_ = transport_->postRecv(src, tag, bytesHint);
     r.out_ = out;
     return r;
 }
 
 void Comm::wait(Request& req) {
     TPF_ASSERT(req.valid(), "waiting on an invalid request");
-    recv(req.src_, req.tag_, *req.out_);
+    TPF_ASSERT(req.transport_ == transport_,
+               "request waited on a different communicator");
+    transport_->waitRecv(req.handle_, *req.out_);
     req.out_ = nullptr;
+    req.transport_ = nullptr;
 }
 
-void Comm::barrier() { world_->barrier(); }
+void Comm::barrier() { transport_->barrier(); }
+
+// Every collective consumes one sequence number and derives its internal
+// tags from it, so two back-to-back collectives use disjoint (source, tag)
+// streams: a transport is free to deliver their messages in any relative
+// order. The counters agree across ranks because collectives are executed
+// in the same order by every rank (that is what makes them collectives).
 
 double Comm::allreduce(double value,
                        const std::function<double(double, double)>& op) {
-    constexpr int tagUp = kInternalTagBase - 1;
-    constexpr int tagDown = kInternalTagBase - 2;
+    const int seq = transport_->nextCollectiveSeq();
+    const int tagUp = collectiveTag(seq, 0);
+    const int tagDown = collectiveTag(seq, 1);
+    const int n = size();
     double result = value;
-    if (rank_ == 0) {
+    if (rank() == 0) {
         // Combine in rank order for bitwise determinism.
-        for (int r = 1; r < size_; ++r)
+        for (int r = 1; r < n; ++r)
             result = op(result, recvValue<double>(r, tagUp));
-        for (int r = 1; r < size_; ++r) sendValue(r, tagDown, result);
+        for (int r = 1; r < n; ++r) sendValue(r, tagDown, result);
     } else {
         sendValue(0, tagUp, value);
         result = recvValue<double>(0, tagDown);
@@ -142,12 +69,14 @@ double Comm::allreduceMax(double v) {
 }
 
 long long Comm::allreduceSumLL(long long v) {
-    constexpr int tagUp = kInternalTagBase - 3;
-    constexpr int tagDown = kInternalTagBase - 4;
+    const int seq = transport_->nextCollectiveSeq();
+    const int tagUp = collectiveTag(seq, 0);
+    const int tagDown = collectiveTag(seq, 1);
+    const int n = size();
     long long result = v;
-    if (rank_ == 0) {
-        for (int r = 1; r < size_; ++r) result += recvValue<long long>(r, tagUp);
-        for (int r = 1; r < size_; ++r) sendValue(r, tagDown, result);
+    if (rank() == 0) {
+        for (int r = 1; r < n; ++r) result += recvValue<long long>(r, tagUp);
+        for (int r = 1; r < n; ++r) sendValue(r, tagDown, result);
     } else {
         sendValue(0, tagUp, v);
         result = recvValue<long long>(0, tagDown);
@@ -155,12 +84,18 @@ long long Comm::allreduceSumLL(long long v) {
     return result;
 }
 
+bool Comm::allAgree(bool localOk) {
+    return allreduceMin(localOk ? 1.0 : 0.0) > 0.5;
+}
+
 std::vector<double> Comm::gather(double v) {
-    constexpr int tagGather = kInternalTagBase - 5;
-    if (rank_ == 0) {
-        std::vector<double> all(static_cast<std::size_t>(size_));
+    const int seq = transport_->nextCollectiveSeq();
+    const int tagGather = collectiveTag(seq, 0);
+    const int n = size();
+    if (rank() == 0) {
+        std::vector<double> all(static_cast<std::size_t>(n));
         all[0] = v;
-        for (int r = 1; r < size_; ++r)
+        for (int r = 1; r < n; ++r)
             all[static_cast<std::size_t>(r)] = recvValue<double>(r, tagGather);
         return all;
     }
@@ -170,12 +105,14 @@ std::vector<double> Comm::gather(double v) {
 
 std::vector<std::vector<std::byte>>
 Comm::gatherAllBytes(const std::vector<std::byte>& mine) {
-    constexpr int tagGatherBytes = kInternalTagBase - 7;
-    if (rank_ == 0) {
+    const int seq = transport_->nextCollectiveSeq();
+    const int tagGatherBytes = collectiveTag(seq, 0);
+    const int n = size();
+    if (rank() == 0) {
         std::vector<std::vector<std::byte>> all(
-            static_cast<std::size_t>(size_));
+            static_cast<std::size_t>(n));
         all[0] = mine;
-        for (int r = 1; r < size_; ++r)
+        for (int r = 1; r < n; ++r)
             recv(r, tagGatherBytes, all[static_cast<std::size_t>(r)]);
         return all;
     }
@@ -184,9 +121,11 @@ Comm::gatherAllBytes(const std::vector<std::byte>& mine) {
 }
 
 void Comm::bcastBytes(void* data, std::size_t bytes) {
-    constexpr int tagBcast = kInternalTagBase - 6;
-    if (rank_ == 0) {
-        for (int r = 1; r < size_; ++r) send(r, tagBcast, data, bytes);
+    const int seq = transport_->nextCollectiveSeq();
+    const int tagBcast = collectiveTag(seq, 1);
+    const int n = size();
+    if (rank() == 0) {
+        for (int r = 1; r < n; ++r) send(r, tagBcast, data, bytes);
     } else {
         std::vector<std::byte> buf;
         recv(0, tagBcast, buf);
@@ -195,34 +134,36 @@ void Comm::bcastBytes(void* data, std::size_t bytes) {
     }
 }
 
-void runParallel(int nranks, const std::function<void(Comm&)>& f) {
-    TPF_ASSERT(nranks >= 1, "need at least one rank");
-    World world(nranks);
+namespace detail {
+Comm makeComm(Transport* t) { return Comm(t); }
+} // namespace detail
 
-    if (nranks == 1) {
-        Comm c(&world, 0, 1);
-        f(c);
+void runParallel(int nranks, const std::function<void(Comm&)>& f) {
+    runParallel(defaultTransport(), nranks, f);
+}
+
+void runParallel(TransportKind kind, int nranks,
+                 const std::function<void(Comm&)>& f) {
+    TPF_ASSERT(transportCompiledIn(kind),
+               "requested transport is not compiled into this binary");
+    switch (kind) {
+    case TransportKind::Thread:
+        detail::runParallelThread(nranks, f, /*shuffleSeed=*/0);
+        return;
+    case TransportKind::Shm:
+        detail::runParallelShm(nranks, f);
+        return;
+    case TransportKind::Mpi:
+        detail::runParallelMpi(nranks, f);
         return;
     }
+    TPF_ASSERT(false, "unknown transport kind");
+}
 
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(nranks));
-    std::mutex errMtx;
-    std::exception_ptr firstError;
-
-    for (int r = 0; r < nranks; ++r) {
-        threads.emplace_back([&, r] {
-            try {
-                Comm c(&world, r, nranks);
-                f(c);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errMtx);
-                if (!firstError) firstError = std::current_exception();
-            }
-        });
-    }
-    for (auto& t : threads) t.join();
-    if (firstError) std::rethrow_exception(firstError);
+void runParallelThreadShuffled(std::uint64_t seed, int nranks,
+                               const std::function<void(Comm&)>& f) {
+    TPF_ASSERT(seed != 0, "shuffled delivery needs a nonzero seed");
+    detail::runParallelThread(nranks, f, seed);
 }
 
 } // namespace tpf::vmpi

@@ -1,56 +1,106 @@
 #pragma once
 /// \file comm.h
-/// Virtual MPI: an MPI-style message-passing layer whose ranks are threads of
-/// one process.
+/// Virtual MPI: an MPI-style message-passing layer with pluggable
+/// transports.
 ///
-/// The paper runs waLBerla with one MPI process per core on SuperMUC / Hornet
-/// / JUQUEEN. This repo keeps the exact programming model — ranks, tagged
-/// point-to-point messages, nonblocking receive + wait (for communication
-/// hiding), barriers and deterministic collectives — but transports messages
-/// through in-process mailboxes so the scaling experiments run on a
-/// workstation. See DESIGN.md §2 for the substitution argument.
+/// The paper runs waLBerla with one MPI process per core on SuperMUC /
+/// Hornet / JUQUEEN. This repo keeps the exact programming model — ranks,
+/// tagged point-to-point messages, nonblocking receive + wait (for
+/// communication hiding), barriers and deterministic collectives — and
+/// moves the bytes through a Transport (vmpi/transport.h): threads of one
+/// process (default), forked processes over shared memory, or real MPI
+/// when built with TPF_WITH_MPI. See DESIGN.md §2 and docs/TRANSPORT.md.
 ///
 /// Semantics:
-///  - send() is buffered: it copies the payload into the destination mailbox
-///    and returns (like MPI_Bsend). There is no rendezvous deadlock.
+///  - send() is buffered: the payload is copied out before send() returns
+///    (like MPI_Bsend). There is no rendezvous deadlock.
 ///  - recv()/irecv() match by (source rank, tag), FIFO within a match.
 ///  - collectives are deterministic: reductions combine in rank order so
-///    multi-rank runs are bitwise reproducible.
+///    multi-rank runs are bitwise reproducible — on every transport.
+///  - every collective call consumes a per-rank sequence number that is
+///    mixed into its internal message tags, so back-to-back collectives
+///    never share a (source, tag) stream: correctness does not depend on
+///    cross-message delivery order, only on the per-(source, tag) FIFO
+///    every transport guarantees.
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <span>
 #include <vector>
 
 #include "util/assert.h"
+#include "vmpi/transport.h"
 
 namespace tpf::vmpi {
 
-/// A message in flight: payload plus matching metadata.
-struct Message {
-    int src = -1;
-    int tag = -1;
-    std::vector<std::byte> data;
-};
+class Comm;
 
-class World; // defined in comm.cpp
+namespace detail {
+/// Comm factory for the per-backend rank launchers (transport_spawn.h).
+Comm makeComm(Transport* t);
+} // namespace detail
+
+/// Reserved internal tag base for collectives; user tags must be >= 0.
+inline constexpr int kInternalTagBase = -1000;
 
 /// Handle for a pending nonblocking receive; completed by Comm::wait().
+///
+/// Move-only, and destroying an incomplete request is a hard error: a
+/// dropped request silently leaks the matched message inside the
+/// transport (the sender's payload is never consumed), which on a real
+/// transport strands buffer space and on every transport desynchronizes
+/// the (source, tag) stream for the next receive. Always wait(); the only
+/// sanctioned alternative is cancel() during teardown on an error path
+/// (GhostExchange's destructor uses it while an exception unwinds through
+/// an in-flight exchange).
 class Request {
 public:
     Request() = default;
+    ~Request() {
+        TPF_ASSERT(!valid(),
+                   "vmpi::Request destroyed without wait(): the pending "
+                   "message would leak inside the transport");
+    }
+
+    /// Abandon the posted receive without consuming the message. Teardown
+    /// escape hatch for error paths only: the matched payload stays inside
+    /// the transport, so the communicator must not be used for further
+    /// receives on this (source, tag) stream afterwards.
+    void cancel() {
+        if (!valid()) return;
+        transport_->cancelRecv(handle_);
+        out_ = nullptr;
+        transport_ = nullptr;
+    }
+
+    Request(Request&& other) noexcept
+        : transport_(other.transport_), handle_(other.handle_),
+          out_(other.out_) {
+        other.out_ = nullptr;
+        other.transport_ = nullptr;
+    }
+    Request& operator=(Request&& other) noexcept {
+        TPF_ASSERT(!valid(),
+                   "vmpi::Request overwritten without wait(): the pending "
+                   "message would leak inside the transport");
+        transport_ = other.transport_;
+        handle_ = other.handle_;
+        out_ = other.out_;
+        other.out_ = nullptr;
+        other.transport_ = nullptr;
+        return *this;
+    }
+
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
 
     bool valid() const { return out_ != nullptr; }
 
 private:
     friend class Comm;
-    int src_ = -1;
-    int tag_ = -1;
+    Transport* transport_ = nullptr;
+    std::uint64_t handle_ = 0;
     std::vector<std::byte>* out_ = nullptr;
 };
 
@@ -58,9 +108,13 @@ private:
 /// only be used from the thread that runs that rank.
 class Comm {
 public:
-    int rank() const { return rank_; }
-    int size() const { return size_; }
-    bool isRoot() const { return rank_ == 0; }
+    int rank() const { return transport_->rank(); }
+    int size() const { return transport_->size(); }
+    bool isRoot() const { return rank() == 0; }
+
+    /// The transport moving this communicator's bytes ("thread", "shm",
+    /// "mpi").
+    const char* transportName() const { return transport_->name(); }
 
     /// Buffered send of \p bytes to \p dst with matching \p tag.
     void send(int dst, int tag, const void* data, std::size_t bytes);
@@ -101,7 +155,12 @@ public:
     }
 
     /// Post a nonblocking receive; the payload lands in *out when wait()s.
-    Request irecv(int src, int tag, std::vector<std::byte>* out);
+    /// \p bytesHint is the exact expected payload size when known (the
+    /// ghost exchange always knows its slab sizes) — backends that need a
+    /// pre-sized landing buffer for true async progress (MPI_Irecv) use
+    /// it; 0 falls back to a deferred blocking receive at wait().
+    Request irecv(int src, int tag, std::vector<std::byte>* out,
+                  std::size_t bytesHint = 0);
 
     /// Complete a pending request (blocking).
     void wait(Request& req);
@@ -115,6 +174,11 @@ public:
     double allreduceMin(double v);
     double allreduceMax(double v);
     long long allreduceSumLL(long long v);
+
+    /// Collective boolean agreement: true iff every rank passed true. The
+    /// checkpoint save/load paths use it to decide atomically whether all
+    /// ranks succeeded before anyone commits or throws (io/checkpoint.cpp).
+    bool allAgree(bool localOk);
 
     /// Gather one double per rank to root (rank 0); non-roots get empty vector.
     std::vector<double> gather(double v);
@@ -135,22 +199,39 @@ public:
     }
 
 private:
-    friend void runParallel(int, const std::function<void(Comm&)>&);
-    Comm(World* w, int rank, int size) : world_(w), rank_(rank), size_(size) {}
+    friend Comm detail::makeComm(Transport*);
+    explicit Comm(Transport* t) : transport_(t) {}
 
     void bcastBytes(void* data, std::size_t bytes);
 
-    World* world_ = nullptr;
-    int rank_ = 0;
-    int size_ = 1;
+    /// Internal tag of collective number \p seq, phase \p phase (0 = toward
+    /// root, 1 = away from root). Distinct per call so reordered delivery
+    /// across calls can never cross-match (see file header).
+    static int collectiveTag(int seq, int phase) {
+        return kInternalTagBase - 1 - (seq * 2 + phase);
+    }
+
+    Transport* transport_ = nullptr;
 };
 
-/// Run \p f on \p nranks virtual ranks (threads). Rank 0 runs on the calling
-/// thread when nranks == 1. Exceptions thrown by any rank are rethrown on the
-/// calling thread after all ranks joined.
+/// Run \p f on \p nranks virtual ranks over the default transport
+/// ($TPF_TRANSPORT or thread). Rank 0 runs on the calling thread when the
+/// transport is thread-backed and nranks == 1, and in the calling process
+/// for the shm transport. Exceptions thrown by any rank are rethrown on
+/// the calling thread after all ranks finished (for process-backed
+/// transports, a non-root rank's exception arrives as a std::runtime_error
+/// carrying the original what()).
 void runParallel(int nranks, const std::function<void(Comm&)>& f);
 
-/// Reserved internal tag base for collectives; user tags must be >= 0.
-inline constexpr int kInternalTagBase = -1000;
+/// Same, over an explicitly chosen transport (the tpf-sim --transport flag).
+void runParallel(TransportKind kind, int nranks,
+                 const std::function<void(Comm&)>& f);
+
+/// Thread transport with adversarial randomized delivery: messages are
+/// inserted at random (seeded) mailbox positions, so nothing about
+/// cross-message arrival order can be assumed. Test harness for the
+/// collective sequencing protocol; \p seed must be nonzero.
+void runParallelThreadShuffled(std::uint64_t seed, int nranks,
+                               const std::function<void(Comm&)>& f);
 
 } // namespace tpf::vmpi

@@ -1,0 +1,210 @@
+/// \file transport_mpi.cpp
+/// Real MPI backend (TPF_WITH_MPI=ON): ranks are MPI processes, messages
+/// travel through MPI_Isend/MPI_Irecv on MPI_COMM_WORLD. Unlike the thread
+/// and shm backends this one cannot *spawn* ranks — mpirun already started
+/// them — so runParallelMpi() adopts the calling process as its world rank
+/// and requires the launch's world size to equal the requested rank count.
+///
+/// Mapping onto MPI:
+///  - vmpi tags may be negative (the collective protocol runs below
+///    kInternalTagBase); MPI tags must be non-negative, so tags map
+///    t >= 0 -> 2t and t < 0 -> -2t - 1 (a bijection onto [0, 2^31)).
+///  - send() keeps buffered no-rendezvous semantics by copying the payload
+///    into an owned stash entry and posting MPI_Isend on it; completed
+///    stash entries are retired opportunistically on later calls and
+///    drained fully at every barrier, bounding the stash by one
+///    communication phase.
+///  - postRecv() with a byte hint posts a real MPI_Irecv into a
+///    pre-sized buffer — the genuinely asynchronous path the ghost
+///    exchange uses. Without a hint the receive is completed at
+///    waitRecv() via MPI_Probe + MPI_Recv (message size unknown until
+///    matched).
+
+#include "vmpi/transport.h"
+
+#include "util/assert.h"
+#include "vmpi/comm.h"
+#include "vmpi/transport_spawn.h"
+
+#if TPF_WITH_MPI
+
+#include <mpi.h>
+
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace tpf::vmpi {
+
+namespace {
+
+int mapTag(int tag) { return tag >= 0 ? 2 * tag : -2 * tag - 1; }
+
+struct StashedSend {
+    MPI_Request req = MPI_REQUEST_NULL;
+    std::vector<std::byte> payload;
+};
+
+struct PostedRecv {
+    MPI_Request req = MPI_REQUEST_NULL;
+    std::vector<std::byte> buffer;
+    int src = -1;
+    int tag = -1;   ///< mapped tag
+    bool eager = false; ///< true when a real MPI_Irecv is in flight
+};
+
+class MpiTransport final : public Transport {
+public:
+    MpiTransport(int rank, int size) : Transport(rank, size) {}
+
+    const char* name() const override { return "mpi"; }
+
+    void send(int dst, int tag, const void* data,
+              std::size_t bytes) override {
+        TPF_ASSERT(dst >= 0 && dst < size_, "invalid destination rank");
+        retireCompletedSends();
+        stash_.emplace_back();
+        StashedSend& s = stash_.back();
+        s.payload.resize(bytes);
+        if (bytes > 0) std::memcpy(s.payload.data(), data, bytes);
+        MPI_Isend(s.payload.data(), static_cast<int>(bytes), MPI_BYTE, dst,
+                  mapTag(tag), MPI_COMM_WORLD, &s.req);
+    }
+
+    void recv(int src, int tag, std::vector<std::byte>& out) override {
+        TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
+        MPI_Status st;
+        MPI_Probe(src, mapTag(tag), MPI_COMM_WORLD, &st);
+        int count = 0;
+        MPI_Get_count(&st, MPI_BYTE, &count);
+        out.resize(static_cast<std::size_t>(count));
+        MPI_Recv(out.empty() ? nullptr : out.data(), count, MPI_BYTE, src,
+                 mapTag(tag), MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+
+    std::uint64_t postRecv(int src, int tag,
+                           std::size_t bytesHint) override {
+        TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
+        const std::uint64_t h = nextHandle_++;
+        PostedRecv pr;
+        pr.src = src;
+        pr.tag = mapTag(tag);
+        if (bytesHint > 0) {
+            pr.eager = true;
+            pr.buffer.resize(bytesHint);
+            MPI_Irecv(pr.buffer.data(), static_cast<int>(bytesHint),
+                      MPI_BYTE, src, pr.tag, MPI_COMM_WORLD, &pr.req);
+        }
+        posted_.emplace(h, std::move(pr));
+        return h;
+    }
+
+    void waitRecv(std::uint64_t handle, std::vector<std::byte>& out) override {
+        const auto it = posted_.find(handle);
+        TPF_ASSERT(it != posted_.end(), "waiting on an unknown recv handle");
+        PostedRecv pr = std::move(it->second);
+        posted_.erase(it);
+        if (pr.eager) {
+            MPI_Status st;
+            MPI_Wait(&pr.req, &st);
+            int count = 0;
+            MPI_Get_count(&st, MPI_BYTE, &count);
+            TPF_ASSERT(static_cast<std::size_t>(count) <= pr.buffer.size(),
+                       "posted receive smaller than the arriving message");
+            pr.buffer.resize(static_cast<std::size_t>(count));
+            out = std::move(pr.buffer);
+        } else {
+            MPI_Status st;
+            MPI_Probe(pr.src, pr.tag, MPI_COMM_WORLD, &st);
+            int count = 0;
+            MPI_Get_count(&st, MPI_BYTE, &count);
+            out.resize(static_cast<std::size_t>(count));
+            MPI_Recv(out.empty() ? nullptr : out.data(), count, MPI_BYTE,
+                     pr.src, pr.tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        }
+    }
+
+    void cancelRecv(std::uint64_t handle) override {
+        const auto it = posted_.find(handle);
+        TPF_ASSERT(it != posted_.end(), "cancelling an unknown recv handle");
+        PostedRecv pr = std::move(it->second);
+        posted_.erase(it);
+        if (pr.eager) {
+            // The landing buffer dies with pr, so the pending MPI_Irecv must
+            // be retired before return; MPI_Cancel may be a no-op if the
+            // message already matched, in which case the wait completes it.
+            MPI_Cancel(&pr.req);
+            MPI_Wait(&pr.req, MPI_STATUS_IGNORE);
+        }
+    }
+
+    void barrier() override {
+        drainSends();
+        MPI_Barrier(MPI_COMM_WORLD);
+    }
+
+    ~MpiTransport() override { drainSends(); }
+
+private:
+    void retireCompletedSends() {
+        while (!stash_.empty()) {
+            int done = 0;
+            MPI_Test(&stash_.front().req, &done, MPI_STATUS_IGNORE);
+            if (!done) break;
+            stash_.pop_front();
+        }
+    }
+
+    void drainSends() {
+        for (StashedSend& s : stash_)
+            MPI_Wait(&s.req, MPI_STATUS_IGNORE);
+        stash_.clear();
+    }
+
+    std::deque<StashedSend> stash_;
+    std::uint64_t nextHandle_ = 1;
+    std::unordered_map<std::uint64_t, PostedRecv> posted_;
+};
+
+} // namespace
+
+namespace detail {
+
+void runParallelMpi(int nranks, const RankFn& f) {
+    int initialized = 0;
+    MPI_Initialized(&initialized);
+    if (!initialized) MPI_Init(nullptr, nullptr);
+    int worldSize = 0;
+    int worldRank = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &worldSize);
+    MPI_Comm_rank(MPI_COMM_WORLD, &worldRank);
+    TPF_ASSERT(worldSize == nranks,
+               "mpi transport: the MPI world size must equal the requested "
+               "rank count (launch with a matching mpirun -np)");
+    MpiTransport t(worldRank, worldSize);
+    Comm c = makeComm(&t);
+    f(c);
+    MPI_Barrier(MPI_COMM_WORLD);
+}
+
+} // namespace detail
+
+} // namespace tpf::vmpi
+
+#else // !TPF_WITH_MPI
+
+namespace tpf::vmpi::detail {
+
+void runParallelMpi(int nranks, const RankFn& f) {
+    (void)nranks;
+    (void)f;
+    TPF_ASSERT(false,
+               "the mpi transport is not compiled into this binary "
+               "(rebuild with -DTPF_WITH_MPI=ON)");
+}
+
+} // namespace tpf::vmpi::detail
+
+#endif // TPF_WITH_MPI

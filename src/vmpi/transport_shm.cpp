@@ -1,0 +1,646 @@
+/// \file transport_shm.cpp
+/// Fork + shared-memory backend: true process-separated ranks without an MPI
+/// runtime. runParallelShm() maps one POSIX shared-memory segment
+/// (shm_open, unlinked immediately after mmap so nothing leaks), forks
+/// ranks 1..n-1 as child processes, and runs rank 0 in the parent — so a
+/// checkpoint error thrown by rank 0 keeps its exact type for the caller,
+/// and root-side googletest assertions work natively.
+///
+/// Wire format: each rank owns one multi-producer ring buffer in the
+/// segment, guarded by a process-shared pthread mutex + condvars. A send
+/// copies the payload into the destination ring (chunked when larger than
+/// a quarter ring) and returns — buffered semantics, no rendezvous. The
+/// receiver drains its ring into private memory and matches by (src, tag);
+/// the ring itself is FIFO, and a single source's chunks are written under
+/// one sequence of ring reservations, so per-(source, tag) order is
+/// preserved end to end.
+///
+/// Failure handling: a per-rank status slot plus an abort flag live in the
+/// segment. A child that throws writes what() to its slot, raises the
+/// flag and _Exits; every blocking wait runs in 50 ms slices that check
+/// the flag (and, in the parent, waitpid(WNOHANG) for silently dead
+/// children) so one failed rank unwinds the whole world promptly instead
+/// of timing out. A child whose googletest failure count grew (see
+/// ChildFailureProbe) exits with a failure status so EXPECT_* in forked
+/// ranks still fail the test.
+///
+/// Ring capacity defaults to 8 MiB per rank; override with
+/// TPF_SHM_RING_MB for workloads with larger in-flight ghost volumes.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <ctime>
+
+#include "util/assert.h"
+#include "vmpi/comm.h"
+#include "vmpi/transport.h"
+#include "vmpi/transport_spawn.h"
+
+namespace tpf::vmpi {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared-segment layout
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kMagic = 0x7d7f534du; // "Mshm" + version salt
+
+/// Per-rank lifecycle slot, written by the rank itself (or by the parent
+/// when it finds a child dead without a status).
+struct ShmStatus {
+    std::int32_t state; ///< 0 running, 1 ok, 2 failed, 3 aborted-after-peer
+    char msg[244];
+};
+
+/// Ring metadata. head/tail are monotonically increasing byte counters;
+/// the occupied region is [tail, head) modulo capacity.
+struct ShmRing {
+    pthread_mutex_t mtx;
+    pthread_cond_t notEmpty;
+    pthread_cond_t notFull;
+    std::uint64_t head;
+    std::uint64_t tail;
+};
+
+struct ShmBarrier {
+    pthread_mutex_t mtx;
+    pthread_cond_t cv;
+    std::int32_t count;
+    std::uint64_t gen;
+};
+
+struct ShmHeader {
+    std::uint32_t magic;
+    std::int32_t nranks;
+    std::uint64_t ringCapacity;
+    std::atomic<std::uint32_t> abortFlag;
+    ShmBarrier barrier;
+};
+
+/// On-wire record header inside a ring. `more` chains the chunks of one
+/// oversized message; a source never interleaves two of its own messages,
+/// so chained chunks from one source are contiguous in that source's
+/// stream (other sources' records may sit between them in the ring).
+struct RecHdr {
+    std::int32_t src;
+    std::int32_t tag;
+    std::uint64_t bytes; ///< payload bytes in THIS record
+    std::uint32_t more;  ///< 1 = further chunks of the same message follow
+    std::uint32_t pad;
+};
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t alignUp(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+/// Blocking waits run in slices this long, so abort/liveness checks stay
+/// responsive; after kMaxWaitSlices of no progress we declare a deadlock
+/// (same 120 s budget as the thread backend's receive timeout).
+constexpr long kSliceNs = 50L * 1000 * 1000;
+constexpr int kMaxWaitSlices = 2400;
+
+std::uint64_t ringCapacityFromEnv() {
+    std::uint64_t mb = 8;
+    if (const char* env = std::getenv("TPF_SHM_RING_MB")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v >= 1) mb = v;
+    }
+    return mb * 1024 * 1024;
+}
+
+/// Thrown when a blocking wait observes the abort flag: a peer rank
+/// failed and this rank unwinds. File-local; runParallelShm() converts it
+/// to the failing rank's own error before it reaches the caller.
+struct PeerAbortError : std::runtime_error {
+    PeerAbortError()
+        : std::runtime_error(
+              "vmpi shm: a peer rank failed; aborting this rank") {}
+};
+
+// ---------------------------------------------------------------------------
+// Segment
+// ---------------------------------------------------------------------------
+
+class ShmSegment {
+public:
+    ShmSegment(int nranks, std::uint64_t ringCapacity) {
+        statusOff_ = alignUp(sizeof(ShmHeader));
+        ringsOff_ = alignUp(statusOff_ +
+                            sizeof(ShmStatus) * static_cast<std::size_t>(nranks));
+        dataOff_ = alignUp(ringsOff_ +
+                           sizeof(ShmRing) * static_cast<std::size_t>(nranks));
+        total_ = dataOff_ + static_cast<std::size_t>(ringCapacity) *
+                                static_cast<std::size_t>(nranks);
+
+        // Unique name; unlinked right after mmap — children inherit the
+        // mapping through fork(), so the name only exists for an instant
+        // and can never leak into /dev/shm.
+        static std::atomic<unsigned> counter{0};
+        const std::string name = "/tpf-vmpi-" + std::to_string(getpid()) +
+                                 "-" + std::to_string(counter++);
+        const int fd =
+            shm_open(name.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+        TPF_ASSERT(fd >= 0, "shm_open failed for the vmpi shm transport");
+        const int trunc = ftruncate(fd, static_cast<off_t>(total_));
+        TPF_ASSERT(trunc == 0, "ftruncate failed for the vmpi shm segment");
+        base_ = static_cast<std::byte*>(mmap(nullptr, total_,
+                                             PROT_READ | PROT_WRITE,
+                                             MAP_SHARED, fd, 0));
+        TPF_ASSERT(base_ != MAP_FAILED, "mmap failed for the vmpi shm segment");
+        close(fd);
+        shm_unlink(name.c_str());
+
+        std::memset(base_, 0, total_);
+        ShmHeader* h = header();
+        h->magic = kMagic;
+        h->nranks = nranks;
+        h->ringCapacity = ringCapacity;
+        h->abortFlag.store(0);
+
+        pthread_mutexattr_t ma;
+        pthread_mutexattr_init(&ma);
+        pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+        pthread_condattr_t ca;
+        pthread_condattr_init(&ca);
+        pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+        pthread_condattr_setclock(&ca, CLOCK_MONOTONIC);
+
+        pthread_mutex_init(&h->barrier.mtx, &ma);
+        pthread_cond_init(&h->barrier.cv, &ca);
+        for (int r = 0; r < nranks; ++r) {
+            ShmRing* ring = ringMeta(r);
+            pthread_mutex_init(&ring->mtx, &ma);
+            pthread_cond_init(&ring->notEmpty, &ca);
+            pthread_cond_init(&ring->notFull, &ca);
+        }
+        pthread_mutexattr_destroy(&ma);
+        pthread_condattr_destroy(&ca);
+    }
+
+    ~ShmSegment() {
+        if (base_ != nullptr) munmap(base_, total_);
+    }
+
+    ShmSegment(const ShmSegment&) = delete;
+    ShmSegment& operator=(const ShmSegment&) = delete;
+
+    ShmHeader* header() { return reinterpret_cast<ShmHeader*>(base_); }
+    ShmStatus* status(int rank) {
+        return reinterpret_cast<ShmStatus*>(base_ + statusOff_) + rank;
+    }
+    ShmRing* ringMeta(int rank) {
+        return reinterpret_cast<ShmRing*>(base_ + ringsOff_) + rank;
+    }
+    std::byte* ringData(int rank) {
+        return base_ + dataOff_ +
+               static_cast<std::size_t>(header()->ringCapacity) *
+                   static_cast<std::size_t>(rank);
+    }
+
+private:
+    std::byte* base_ = nullptr;
+    std::size_t total_ = 0;
+    std::size_t statusOff_ = 0;
+    std::size_t ringsOff_ = 0;
+    std::size_t dataOff_ = 0;
+};
+
+void setStatus(ShmStatus* st, std::int32_t state, const char* msg) {
+    std::snprintf(st->msg, sizeof(st->msg), "%s", msg);
+    st->state = state;
+}
+
+/// Modular copy into / out of a ring data area.
+void ringCopyIn(std::byte* data, std::uint64_t cap, std::uint64_t pos,
+                const void* src, std::uint64_t n) {
+    const std::uint64_t at = pos % cap;
+    const std::uint64_t first = n < cap - at ? n : cap - at;
+    std::memcpy(data + at, src, first);
+    if (n > first)
+        std::memcpy(data, static_cast<const std::byte*>(src) + first,
+                    n - first);
+}
+
+void ringCopyOut(const std::byte* data, std::uint64_t cap, std::uint64_t pos,
+                 void* dst, std::uint64_t n) {
+    const std::uint64_t at = pos % cap;
+    const std::uint64_t first = n < cap - at ? n : cap - at;
+    std::memcpy(dst, data + at, first);
+    if (n > first)
+        std::memcpy(static_cast<std::byte*>(dst) + first, data, n - first);
+}
+
+/// pthread_cond_timedwait for one slice on a CLOCK_MONOTONIC condvar.
+void timedWaitSlice(pthread_cond_t* cv, pthread_mutex_t* mtx) {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    ts.tv_nsec += kSliceNs;
+    if (ts.tv_nsec >= 1000000000L) {
+        ts.tv_sec += 1;
+        ts.tv_nsec -= 1000000000L;
+    }
+    pthread_cond_timedwait(cv, mtx, &ts);
+}
+
+class MutexLock {
+public:
+    explicit MutexLock(pthread_mutex_t* m) : m_(m) {
+        pthread_mutex_lock(m_);
+    }
+    ~MutexLock() { pthread_mutex_unlock(m_); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    pthread_mutex_t* m_;
+};
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// A fully received message, parked until a matching recv.
+struct ShmMessage {
+    int src = -1;
+    int tag = -1;
+    std::vector<std::byte> data;
+};
+
+class ShmTransport final : public Transport {
+public:
+    /// \p liveness runs once per wait slice; the parent passes a callback
+    /// that waitpid-polls the children and raises the abort flag when one
+    /// died without reporting (children pass nullptr).
+    ShmTransport(ShmSegment& seg, int rank,
+                 std::function<void()> liveness)
+        : Transport(rank, seg.header()->nranks), seg_(seg),
+          cap_(seg.header()->ringCapacity),
+          liveness_(std::move(liveness)) {}
+
+    const char* name() const override { return "shm"; }
+
+    void send(int dst, int tag, const void* data,
+              std::size_t bytes) override {
+        TPF_ASSERT(dst >= 0 && dst < size_, "invalid destination rank");
+        if (dst == rank_) {
+            ShmMessage m;
+            m.src = rank_;
+            m.tag = tag;
+            m.data.assign(static_cast<const std::byte*>(data),
+                          static_cast<const std::byte*>(data) + bytes);
+            pending_.push_back(std::move(m));
+            return;
+        }
+        const std::uint64_t maxChunk = cap_ / 4 - sizeof(RecHdr);
+        const std::byte* p = static_cast<const std::byte*>(data);
+        std::uint64_t left = bytes;
+        do {
+            const std::uint64_t chunk = left < maxChunk ? left : maxChunk;
+            writeRecord(dst, tag, p, chunk, left > chunk);
+            p += chunk;
+            left -= chunk;
+        } while (left > 0);
+    }
+
+    void recv(int src, int tag, std::vector<std::byte>& out) override {
+        TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
+        int idleSlices = 0;
+        for (;;) {
+            if (takePending(src, tag, out)) return;
+            const bool progressed = drainIncoming(true);
+            checkAbort();
+            if (liveness_) liveness_();
+            if (progressed)
+                idleSlices = 0;
+            else if (++idleSlices > kMaxWaitSlices)
+                TPF_ASSERT(false,
+                           "vmpi receive timed out (likely deadlock)");
+        }
+    }
+
+    // Sends land in this rank's ring without the receiver's involvement
+    // (that is the genuine async progress of this backend), so a posted
+    // receive only records the match; waitRecv completes it.
+    std::uint64_t postRecv(int src, int tag,
+                           std::size_t /*bytesHint*/) override {
+        TPF_ASSERT(src >= 0 && src < size_, "invalid source rank");
+        const std::uint64_t h = nextHandle_++;
+        posted_.emplace(h, std::make_pair(src, tag));
+        return h;
+    }
+
+    void waitRecv(std::uint64_t handle, std::vector<std::byte>& out) override {
+        const auto it = posted_.find(handle);
+        TPF_ASSERT(it != posted_.end(), "waiting on an unknown recv handle");
+        const auto [src, tag] = it->second;
+        posted_.erase(it);
+        recv(src, tag, out);
+    }
+
+    // Nothing was reserved at post time, so cancelling just forgets the
+    // match; the payload (already drained into pending_ or still in the
+    // ring) stays unconsumed.
+    void cancelRecv(std::uint64_t handle) override {
+        const auto it = posted_.find(handle);
+        TPF_ASSERT(it != posted_.end(), "cancelling an unknown recv handle");
+        posted_.erase(it);
+    }
+
+    void barrier() override {
+        ShmBarrier* b = &seg_.header()->barrier;
+        MutexLock lock(&b->mtx);
+        const std::uint64_t gen = b->gen;
+        if (++b->count == size_) {
+            b->count = 0;
+            ++b->gen;
+            pthread_cond_broadcast(&b->cv);
+            return;
+        }
+        int slices = 0;
+        while (b->gen == gen) {
+            timedWaitSlice(&b->cv, &b->mtx);
+            if (seg_.header()->abortFlag.load() != 0) throw PeerAbortError();
+            if (liveness_) liveness_();
+            if (b->gen == gen && ++slices > kMaxWaitSlices)
+                TPF_ASSERT(false, "vmpi barrier timed out (likely deadlock)");
+        }
+    }
+
+private:
+    void checkAbort() {
+        if (seg_.header()->abortFlag.load() != 0) throw PeerAbortError();
+    }
+
+    /// Append one record to dst's ring, waiting for space in abort-aware
+    /// slices. While blocked, drain our own ring: if the destination is
+    /// itself blocked sending to us, consuming our ring is what lets the
+    /// cycle make progress (send-send deadlock avoidance).
+    void writeRecord(int dst, int tag, const std::byte* payload,
+                     std::uint64_t chunk, bool more) {
+        const std::uint64_t need = sizeof(RecHdr) + chunk;
+        ShmRing* ring = seg_.ringMeta(dst);
+        std::byte* data = seg_.ringData(dst);
+        int slices = 0;
+        for (;;) {
+            {
+                MutexLock lock(&ring->mtx);
+                if (cap_ - (ring->head - ring->tail) >= need) {
+                    RecHdr h;
+                    h.src = rank_;
+                    h.tag = tag;
+                    h.bytes = chunk;
+                    h.more = more ? 1 : 0;
+                    h.pad = 0;
+                    ringCopyIn(data, cap_, ring->head, &h, sizeof(h));
+                    if (chunk > 0)
+                        ringCopyIn(data, cap_, ring->head + sizeof(h),
+                                   payload, chunk);
+                    ring->head += need;
+                    pthread_cond_broadcast(&ring->notEmpty);
+                    return;
+                }
+                timedWaitSlice(&ring->notFull, &ring->mtx);
+            }
+            checkAbort();
+            if (liveness_) liveness_();
+            if (drainIncoming(false))
+                slices = 0;
+            else if (++slices > kMaxWaitSlices)
+                TPF_ASSERT(false,
+                           "vmpi shm send timed out (ring full; likely "
+                           "deadlock)");
+        }
+    }
+
+    /// Move every complete record out of our ring into private memory,
+    /// assembling chunked messages. \p blocking waits one slice when the
+    /// ring is empty. Returns whether anything was consumed.
+    bool drainIncoming(bool blocking) {
+        ShmRing* ring = seg_.ringMeta(rank_);
+        const std::byte* data = seg_.ringData(rank_);
+        bool any = false;
+        MutexLock lock(&ring->mtx);
+        if (blocking && ring->head == ring->tail)
+            timedWaitSlice(&ring->notEmpty, &ring->mtx);
+        while (ring->head != ring->tail) {
+            RecHdr h;
+            ringCopyOut(data, cap_, ring->tail, &h, sizeof(h));
+            TPF_ASSERT(sizeof(h) + h.bytes <= ring->head - ring->tail,
+                       "corrupt shm ring record");
+            auto& part = partial_[h.src];
+            if (part.src < 0) {
+                part.src = h.src;
+                part.tag = h.tag;
+            }
+            TPF_ASSERT(part.tag == h.tag,
+                       "interleaved chunks from one source in shm ring");
+            const std::size_t old = part.data.size();
+            part.data.resize(old + h.bytes);
+            if (h.bytes > 0)
+                ringCopyOut(data, cap_, ring->tail + sizeof(h),
+                            part.data.data() + old, h.bytes);
+            ring->tail += sizeof(h) + h.bytes;
+            if (h.more == 0) {
+                pending_.push_back(std::move(part));
+                partial_.erase(h.src);
+            }
+            any = true;
+        }
+        if (any) pthread_cond_broadcast(&ring->notFull);
+        return any;
+    }
+
+    bool takePending(int src, int tag, std::vector<std::byte>& out) {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->src == src && it->tag == tag) {
+                out = std::move(it->data);
+                pending_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    ShmSegment& seg_;
+    std::uint64_t cap_;
+    std::function<void()> liveness_;
+
+    std::deque<ShmMessage> pending_;
+    std::map<int, ShmMessage> partial_; ///< in-flight chunked message per src
+    std::uint64_t nextHandle_ = 1;
+    std::unordered_map<std::uint64_t, std::pair<int, int>> posted_;
+};
+
+// ---------------------------------------------------------------------------
+// Process orchestration
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void childMain(ShmSegment& seg, int rank,
+                            const detail::RankFn& f) {
+    ShmStatus* st = seg.status(rank);
+    const ChildFailureProbe probe = childFailureProbe();
+    const int failedBefore = probe ? probe() : 0;
+    try {
+        ShmTransport t(seg, rank, nullptr);
+        Comm c = detail::makeComm(&t);
+        f(c);
+    } catch (const PeerAbortError& e) {
+        setStatus(st, 3, e.what());
+        std::_Exit(1);
+    } catch (const std::exception& e) {
+        setStatus(st, 2, e.what());
+        seg.header()->abortFlag.store(1);
+        std::_Exit(1);
+    } catch (...) {
+        setStatus(st, 2, "unknown exception in a forked vmpi rank");
+        seg.header()->abortFlag.store(1);
+        std::_Exit(1);
+    }
+    if (probe && probe() > failedBefore) {
+        setStatus(st, 2, "googletest assertion failed in a forked vmpi rank");
+        std::_Exit(1);
+    }
+    setStatus(st, 1, "");
+    std::_Exit(0);
+}
+
+struct ChildProc {
+    pid_t pid = -1;
+    bool reaped = false;
+    int rank = -1;
+};
+
+/// waitpid(WNOHANG) sweep: finds children that died without writing a
+/// status (segfault, _exit from a library) and raises the abort flag so
+/// the surviving ranks unwind instead of waiting 120 s for a timeout.
+void pollChildren(ShmSegment& seg, std::vector<ChildProc>& kids) {
+    for (ChildProc& k : kids) {
+        if (k.reaped) continue;
+        int ws = 0;
+        const pid_t r = waitpid(k.pid, &ws, WNOHANG);
+        if (r != k.pid) continue;
+        k.reaped = true;
+        ShmStatus* st = seg.status(k.rank);
+        if (WIFSIGNALED(ws) && st->state == 0) {
+            std::string msg = "vmpi rank " + std::to_string(k.rank) +
+                              " died on signal " +
+                              std::to_string(WTERMSIG(ws));
+            setStatus(st, 2, msg.c_str());
+            seg.header()->abortFlag.store(1);
+        } else if (WIFEXITED(ws) && WEXITSTATUS(ws) != 0 && st->state == 0) {
+            std::string msg = "vmpi rank " + std::to_string(k.rank) +
+                              " exited without reporting a status";
+            setStatus(st, 2, msg.c_str());
+            seg.header()->abortFlag.store(1);
+        } else if (WIFEXITED(ws) && WEXITSTATUS(ws) != 0 &&
+                   st->state == 2) {
+            // Child reported its own failure; make sure peers unwind even
+            // when the failure happened after the last collective.
+            seg.header()->abortFlag.store(1);
+        }
+    }
+}
+
+void reapAll(ShmSegment& seg, std::vector<ChildProc>& kids) {
+    for (ChildProc& k : kids) {
+        if (k.reaped) continue;
+        int ws = 0;
+        waitpid(k.pid, &ws, 0);
+        k.reaped = true;
+        ShmStatus* st = seg.status(k.rank);
+        if (st->state == 0) {
+            std::string msg =
+                "vmpi rank " + std::to_string(k.rank) +
+                (WIFSIGNALED(ws)
+                     ? " died on signal " + std::to_string(WTERMSIG(ws))
+                     : " exited without reporting a status");
+            setStatus(st, 2, msg.c_str());
+        }
+    }
+}
+
+/// First reported real failure (state 2), if any.
+std::string firstChildError(ShmSegment& seg, int nranks) {
+    for (int r = 1; r < nranks; ++r) {
+        const ShmStatus* st = seg.status(r);
+        if (st->state == 2)
+            return "vmpi rank " + std::to_string(r) + ": " + st->msg;
+    }
+    return {};
+}
+
+} // namespace
+
+namespace detail {
+
+void runParallelShm(int nranks, const RankFn& f) {
+    TPF_ASSERT(nranks >= 1, "need at least one rank");
+    ShmSegment seg(nranks, ringCapacityFromEnv());
+
+    if (nranks == 1) {
+        ShmTransport t(seg, 0, nullptr);
+        Comm c = makeComm(&t);
+        f(c);
+        return;
+    }
+
+    // Flush before fork so buffered output is not duplicated into children.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    std::vector<ChildProc> kids;
+    kids.reserve(static_cast<std::size_t>(nranks - 1));
+    for (int r = 1; r < nranks; ++r) {
+        const pid_t pid = fork();
+        TPF_ASSERT(pid >= 0, "fork failed for the vmpi shm transport");
+        if (pid == 0) childMain(seg, r, f); // never returns
+        kids.push_back(ChildProc{pid, false, r});
+    }
+
+    try {
+        ShmTransport t(seg, 0, [&] { pollChildren(seg, kids); });
+        Comm c = makeComm(&t);
+        f(c);
+    } catch (const PeerAbortError&) {
+        // Rank 0 unwound because a peer failed: report the peer's own
+        // error instead of the secondary abort.
+        reapAll(seg, kids);
+        const std::string err = firstChildError(seg, nranks);
+        throw std::runtime_error(err.empty()
+                                     ? "vmpi shm: a forked rank failed"
+                                     : err);
+    } catch (...) {
+        // Rank 0 failed on its own: children unwind via the abort flag,
+        // and the caller sees rank 0's exception with its exact type.
+        seg.header()->abortFlag.store(1);
+        reapAll(seg, kids);
+        throw;
+    }
+
+    reapAll(seg, kids);
+    const std::string err = firstChildError(seg, nranks);
+    if (!err.empty()) throw std::runtime_error(err);
+}
+
+} // namespace detail
+
+} // namespace tpf::vmpi

@@ -28,6 +28,11 @@ double seedNoise() {
 struct Comm {
     bool isRoot() const { return true; }
     double allreduceSum(double v) { return v; }
+    bool allAgree(bool ok) { return ok; }
+};
+
+struct Transport {
+    int nextCollectiveSeq() { return 0; }
 };
 
 double reportFraction(Comm& comm, double local) {
@@ -36,6 +41,20 @@ double reportFraction(Comm& comm, double local) {
         global = comm.allreduceSum(local); // rule: collective-in-conditional
     }
     return global;
+}
+
+bool agreeUnderRoot(Comm& comm, bool ok) {
+    if (comm.isRoot())
+        return comm.allAgree(ok); // rule: collective-in-conditional (allAgree)
+    return ok;
+}
+
+int seqUnderRank(Transport* t, int myRank) {
+    if (myRank == 0) {
+        // rule: collective-in-conditional (Transport vtable spelling)
+        return t->nextCollectiveSeq();
+    }
+    return -1;
 }
 
 void checkBounds(int i, int n) {

@@ -2,7 +2,7 @@
 /// SIMD dispatch (docs/KERNELS.md):
 ///
 ///   1. The fused phi/mu sweep must be **bitwise** identical to the split
-///      schedule — for ranks {1,2} x threads {1,4} x moving window {on,off},
+///      schedule — for ranks {1,2,4} x threads {1,4} x moving window {on,off},
 ///      with the production mu-overlap communication hiding on, and for
 ///      every dispatch target the host CPU can run.
 ///   2. Every dispatch target (scalar / sse2 / avx2 / avx512) must produce
@@ -75,11 +75,13 @@ std::vector<double> snapshot(core::Solver& s) {
 /// Empty string when bitwise equal, else a pointed first-difference message.
 std::string diffSnapshots(const std::vector<double>& a,
                           const std::vector<double>& b) {
+    if (a.empty() || b.empty())
+        return "empty snapshot — the per-rank gather produced nothing, the "
+               "comparison would be vacuous";
     if (a.size() != b.size())
         return "snapshot sizes differ: " + std::to_string(a.size()) + " vs " +
                std::to_string(b.size());
-    if (a.empty() ||
-        std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0)
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0)
         return {};
     for (std::size_t i = 0; i < a.size(); ++i) {
         if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
@@ -104,12 +106,31 @@ RunResult runSchedule(const core::SolverConfig& cfg, int ranks, int steps) {
     RunResult r;
     r.perRank.resize(static_cast<std::size_t>(ranks));
     auto body = [&](vmpi::Comm* comm) {
-        const int rank = comm ? comm->rank() : 0;
         core::Solver s(cfg, comm);
         s.initialize();
         s.run(steps);
-        r.perRank[static_cast<std::size_t>(rank)] = snapshot(s);
-        if (!comm || comm->isRoot()) r.windowOffset = s.windowOffsetCells();
+        const std::vector<double> mine = snapshot(s);
+        if (!comm) {
+            r.perRank[0] = mine;
+            r.windowOffset = s.windowOffsetCells();
+            return;
+        }
+        // Gather the snapshots through the communicator: process-backed
+        // transports (shm, mpi) run non-root ranks in separate address
+        // spaces, so writing into r.perRank from those ranks would be lost
+        // and the comparison would pass vacuously on empty vectors.
+        std::vector<std::byte> bytes(mine.size() * sizeof(double));
+        std::memcpy(bytes.data(), mine.data(), bytes.size());
+        const auto all = comm->gatherAllBytes(bytes);
+        if (comm->isRoot()) {
+            for (int rk = 0; rk < ranks; ++rk) {
+                const auto& b = all[static_cast<std::size_t>(rk)];
+                auto& dst = r.perRank[static_cast<std::size_t>(rk)];
+                dst.resize(b.size() / sizeof(double));
+                std::memcpy(dst.data(), b.data(), b.size());
+            }
+            r.windowOffset = s.windowOffsetCells();
+        }
     };
     if (ranks == 1)
         body(nullptr);
@@ -123,7 +144,7 @@ constexpr int kSteps = 12;
 /// Contract 1: fused == split, bitwise, across the full ranks x threads x
 /// window matrix with the startup dispatch target.
 TEST(KernelEquivalence, FusedMatchesSplitBitwise) {
-    for (const int ranks : {1, 2}) {
+    for (const int ranks : {1, 2, 4}) {
         for (const int threads : {1, 4}) {
             for (const bool window : {false, true}) {
                 SCOPED_TRACE("ranks=" + std::to_string(ranks) +
@@ -166,7 +187,7 @@ TEST(KernelEquivalence, DispatchTargetsMatchBitwise) {
     // (ranks, threads) legs: serial, and the threaded multi-rank worst case.
     const struct {
         int ranks, threads;
-    } legs[] = {{1, 1}, {2, 4}};
+    } legs[] = {{1, 1}, {2, 4}, {4, 4}};
 
     for (const auto& leg : legs) {
         for (const bool window : {false, true}) {

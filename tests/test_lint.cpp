@@ -229,6 +229,40 @@ TEST(LintCollective, FlagsElseBranchOfRankConditional) {
     EXPECT_EQ(fs[0].line, 4);
 }
 
+TEST(LintCollective, FlagsAllAgreeAndTransportVtableSpellings) {
+    // The collective family grew with the transport refactor: allAgree (the
+    // checkpoint ok-agreement) and direct Transport-level calls must be
+    // caught too, not just the classic Comm spellings.
+    EXPECT_EQ(lintSource("src/io/c.cpp",
+                         "if (comm->isRoot()) {\n"
+                         "    ok = comm->allAgree(localOk);\n"
+                         "}\n")
+                  .size(),
+              1u);
+    EXPECT_EQ(lintSource("src/core/s.cpp",
+                         "if (myRank == 0) {\n"
+                         "    const int seq = transport->nextCollectiveSeq();\n"
+                         "}\n")
+                  .size(),
+              1u);
+    EXPECT_EQ(lintSource("src/core/s.cpp",
+                         "if (rank == 0) transport->barrier();\n")
+                  .size(),
+              1u);
+}
+
+TEST(LintCollective, PointToPointTransportCallsAreNotCollectives) {
+    // postRecv/waitRecv are (source, tag) point-to-point — rank-conditional
+    // use is the normal asymmetric pattern, not a deadlock.
+    const auto fs =
+        lintSource("src/comm/e.cpp",
+                   "if (rank == 0) {\n"
+                   "    auto h = transport->postRecv(1, tag, bytes);\n"
+                   "    transport->waitRecv(h, out);\n"
+                   "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
 TEST(LintCollective, UnconditionalCollectivesAndRootOnlyWorkAreFine) {
     const auto fs = lintSource("src/core/r.cpp",
                                "const double g = comm.allreduceSum(x);\n"
@@ -389,8 +423,12 @@ TEST(LintFixture, SeededViolationFileTriggersEveryRule) {
     std::ostringstream ss;
     ss << in.rdbuf();
     const auto fs = lintSource("src/core/seeded_violations.cpp", ss.str());
+    // Three collective findings: the classic Comm form, allAgree, and the
+    // Transport vtable spelling.
     EXPECT_EQ(rulesOf(fs),
               (std::vector<std::string>{"assert-macro",
+                                        "collective-in-conditional",
+                                        "collective-in-conditional",
                                         "collective-in-conditional",
                                         "fastmath", "nondeterminism",
                                         "raw-intrinsics",

@@ -99,7 +99,7 @@ void runStraightAndSplit(const core::SolverConfig& cfg, int ranks, int steps2N,
 }
 
 TEST(RestartEquivalence, SplitRunMatchesStraightRunBitwise) {
-    for (const int ranks : {1, 2}) {
+    for (const int ranks : {1, 2, 4}) {
         for (const int threads : {1, 4}) {
             SCOPED_TRACE("ranks=" + std::to_string(ranks) +
                          " threads=" + std::to_string(threads));
@@ -137,7 +137,7 @@ TEST(RestartEquivalence, SplitRunMatchesStraightRunBitwise) {
 }
 
 TEST(RestartEquivalence, WindowStateSurvivesRoundTrip) {
-    for (const int ranks : {1, 2}) {
+    for (const int ranks : {1, 2, 4}) {
         SCOPED_TRACE("ranks=" + std::to_string(ranks));
         TempDir dir("win_r" + std::to_string(ranks));
         const std::string chk = (dir.path / "chk").string();

@@ -1,0 +1,35 @@
+/// Registers the child-failure probe (vmpi/transport.h) in every test
+/// binary: the shm transport forks non-root ranks, and an EXPECT_* that
+/// fails inside a forked child records its failure in the child's copy of
+/// googletest — invisible to the parent. The probe lets the shm runner
+/// detect that the failed-part count grew during the rank body and exit
+/// the child with a failure status, which the parent turns into a thrown
+/// error, so assertions inside forked ranks still fail the test.
+///
+/// Linked into all test executables via tests/CMakeLists.txt; plain
+/// binaries (tpf-sim, benches) have no probe and skip the check.
+
+#include <gtest/gtest.h>
+
+#include "vmpi/transport.h"
+
+namespace {
+
+int failedPartCount() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info == nullptr || info->result() == nullptr) return 0;
+    const ::testing::TestResult* r = info->result();
+    int failed = 0;
+    for (int i = 0; i < r->total_part_count(); ++i)
+        if (r->GetTestPartResult(i).failed()) ++failed;
+    return failed;
+}
+
+struct ProbeRegistrar {
+    ProbeRegistrar() { tpf::vmpi::setChildFailureProbe(&failedPartCount); }
+};
+
+const ProbeRegistrar registrar{};
+
+} // namespace
