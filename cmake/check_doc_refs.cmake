@@ -16,7 +16,8 @@ set(checked_docs
     "${REPO_ROOT}/docs/ARCHITECTURE.md"
     "${REPO_ROOT}/docs/KERNELS.md"
     "${REPO_ROOT}/docs/CORRECTNESS.md"
-    "${REPO_ROOT}/docs/TRANSPORT.md")
+    "${REPO_ROOT}/docs/TRANSPORT.md"
+    "${REPO_ROOT}/docs/MESH.md")
 
 set(missing "")
 foreach(doc IN LISTS checked_docs)

@@ -1,0 +1,104 @@
+# In-situ mesh streaming smoke at the CLI level (the library-level contracts
+# are tests/test_mesh_parallel.cpp): a hybrid moving-window run with --mesh
+# must stream the versioned mesh index plus one OBJ per phase per sampled
+# step, and the vertex/triangle counts inside each OBJ must match the index
+# columns. Driven by ctest (smoke_mesh) and by CI:
+#
+#   cmake -DTPF_SIM=<path> -DOUT=<scratch-dir> -P cmake/mesh_smoke.cmake
+
+foreach(var TPF_SIM OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "mesh_smoke.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+execute_process(
+    COMMAND ${TPF_SIM} --scenario solidify --size 16,16,32 --steps 8
+            --ranks 2 --threads 2 --window --mesh 4 --out ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mesh smoke: tpf-sim --mesh failed (rc=${rc})")
+endif()
+
+set(csv "${OUT}/mesh/mesh_index.csv")
+if(NOT EXISTS "${csv}")
+    message(FATAL_ERROR "mesh smoke: ${csv} was not written")
+endif()
+
+file(STRINGS "${csv}" lines)
+list(LENGTH lines nlines)
+# Schema + header + rows at steps 0, 4, 8.
+if(NOT nlines EQUAL 5)
+    message(FATAL_ERROR
+        "mesh smoke: expected 5 lines (schema, header, 3 rows), "
+        "got ${nlines} in ${csv}")
+endif()
+
+list(GET lines 0 schema)
+if(NOT schema STREQUAL "# tpf-mesh v1")
+    message(FATAL_ERROR "mesh smoke: bad schema line '${schema}' in ${csv}")
+endif()
+
+list(GET lines 1 header)
+if(NOT header MATCHES "^step,time,tri_s0,verts_s0,area_s0,euler_s0,")
+    message(FATAL_ERROR "mesh smoke: unexpected header '${header}' in ${csv}")
+endif()
+string(REPLACE "," ";" header_cols "${header}")
+list(LENGTH header_cols ncols)
+# step + time + 4 columns per streamed phase.
+math(EXPR nphases "(${ncols} - 2) / 4")
+math(EXPR remainder "(${ncols} - 2) % 4")
+if(nphases LESS 1 OR NOT remainder EQUAL 0)
+    message(FATAL_ERROR
+        "mesh smoke: header has ${ncols} columns, not step,time + 4/phase")
+endif()
+
+set(expected_steps 0 4 8)
+foreach(i RANGE 2 4)
+    list(GET lines ${i} row)
+    string(REPLACE "," ";" row_cols "${row}")
+    list(LENGTH row_cols row_ncols)
+    if(NOT row_ncols EQUAL ncols)
+        message(FATAL_ERROR
+            "mesh smoke: row ${i} has ${row_ncols} columns, header has "
+            "${ncols}: '${row}'")
+    endif()
+    math(EXPR want_idx "${i} - 2")
+    list(GET expected_steps ${want_idx} step)
+    if(NOT row MATCHES "^${step},")
+        message(FATAL_ERROR
+            "mesh smoke: row ${i} should sample step ${step}: '${row}'")
+    endif()
+
+    # Every row must have its per-phase OBJ on disk, with exactly the vertex
+    # and triangle counts the index advertises.
+    math(EXPR step_padded "${step} + 1000000")
+    string(SUBSTRING "${step_padded}" 1 6 step6)
+    math(EXPR last_phase "${nphases} - 1")
+    foreach(phase RANGE 0 ${last_phase})
+        set(obj "${OUT}/mesh/phase${phase}_step${step6}.obj")
+        if(NOT EXISTS "${obj}")
+            message(FATAL_ERROR "mesh smoke: ${obj} was not written")
+        endif()
+        file(READ "${obj}" obj_text)
+        string(REGEX MATCHALL "(^|\n)v " obj_vlines "${obj_text}")
+        list(LENGTH obj_vlines obj_verts)
+        string(REGEX MATCHALL "(^|\n)f " obj_flines "${obj_text}")
+        list(LENGTH obj_flines obj_tris)
+        math(EXPR tri_col "2 + 4 * ${phase}")
+        math(EXPR vert_col "3 + 4 * ${phase}")
+        list(GET row_cols ${tri_col} want_tris)
+        list(GET row_cols ${vert_col} want_verts)
+        if(NOT obj_verts EQUAL want_verts OR NOT obj_tris EQUAL want_tris)
+            message(FATAL_ERROR
+                "mesh smoke: ${obj} has ${obj_verts} vertices / ${obj_tris} "
+                "triangles, index row says ${want_verts} / ${want_tris}")
+        endif()
+    endforeach()
+endforeach()
+
+message(STATUS
+    "mesh smoke: ${csv} ok (${nphases} phases, 3 rows, OBJ counts match)")

@@ -16,9 +16,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/mesh_observer.h"
 #include "analysis/observers.h"
 #include "app/cli.h"
 #include "core/kernel_dispatch.h"
@@ -46,6 +48,9 @@ struct RunOptions {
     int analyzeEvery = 0;      ///< in-situ analysis cadence (0 = off)
     std::string analysisDir;   ///< CSV directory ("" = outdir)
     std::vector<std::string> observers; ///< enabled observer names, in order
+    int meshEvery = 0;         ///< in-situ mesh extraction cadence (0 = off)
+    std::string meshDir;       ///< OBJ/index directory (default <out>/mesh)
+    std::vector<int> meshPhases; ///< order parameters to mesh
 };
 
 /// Split a comma-separated observer list ("fractions,lamellae,...").
@@ -181,6 +186,38 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
         if (opt.restart.empty()) pipeline.sample(solver, solver.stepsDone());
     }
 
+    // In-situ mesh extraction: collective like the analysis pipeline (every
+    // rank attaches the same observer; only root streams the OBJ frames and
+    // the index CSV), with the same root-failure agreement.
+    std::unique_ptr<analysis::MeshObserver> mesh;
+    if (opt.meshEvery > 0) {
+        analysis::MeshObserver::Options mo;
+        mo.dir = opt.meshDir;
+        mo.phases = opt.meshPhases;
+        mo.every = opt.meshEvery;
+        mesh = std::make_unique<analysis::MeshObserver>(mo);
+        int ok = 1;
+        if (isRoot) {
+            try {
+                if (!opt.restart.empty())
+                    mesh->resume(true, solver.stepsDone());
+                else
+                    mesh->create(true);
+                std::printf("mesh: every %d steps -> %s\n", opt.meshEvery,
+                            opt.meshDir.c_str());
+            } catch (const io::CsvError& e) {
+                std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                ok = 0;
+            }
+        }
+        if (comm && comm->size() > 1) ok = comm->bcast(ok);
+        if (!ok)
+            throw io::CsvError("mesh index setup failed on the root rank "
+                               "(see the message above)");
+        mesh->attach(solver);
+        if (opt.restart.empty()) mesh->sample(solver, solver.stepsDone());
+    }
+
     report(solver, isRoot); // collective: all ranks participate
     const double t0 = perf::now();
 
@@ -243,6 +280,12 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     for (const auto& t : solver.timeloop().timings())
         std::printf("  %-18s %8.3f s  %8.5f s\n", t.name.c_str(), t.seconds,
                     t.maxSeconds);
+    if (mesh) {
+        const io::MeshPipelineTimings& mt = mesh->timings();
+        std::printf("mesh pipeline (total): extract %.3f s  simplify %.3f s  "
+                    "gather+stitch %.3f s\n",
+                    mt.extractSec, mt.simplifySec, mt.gatherSec);
+    }
 }
 
 } // namespace
@@ -298,6 +341,16 @@ int main(int argc, char** argv) {
     const std::string observerList = cli.getString(
         "analysis-observers", "fractions,lamellae,correlation",
         "comma-separated observers to run (fractions, lamellae, correlation)");
+    opt.meshEvery = cli.getInt(
+        "mesh", 0,
+        "steps between in-situ surface-mesh extractions: per-phase OBJ "
+        "frames plus a mesh_index.csv streamed to --mesh-dir (0: off; "
+        "needs a z-slab block decomposition)");
+    const std::string meshDirFlag = cli.getString(
+        "mesh-dir", "", "mesh output directory (default: <out>/mesh)");
+    const std::string meshPhasesFlag = cli.getString(
+        "mesh-phases", "0,1,2",
+        "comma-separated order-parameter indices to mesh");
     opt.outdir = cli.getString("out", "tpf_output", "output directory");
     const std::string overlap = cli.getString(
         "overlap", "mu", "communication hiding: none, mu, phi, both");
@@ -547,6 +600,87 @@ int main(int argc, char** argv) {
                                      "configured observers produce\n  %s\n"
                                      "pass the original --analysis-observers "
                                      "or a fresh --analysis-dir\n",
+                                     csvPath.c_str(), existing.c_str(),
+                                     header.c_str());
+                        return 2;
+                    }
+                } catch (const io::CsvError& e) {
+                    std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                    return 2;
+                }
+            }
+        }
+    }
+
+    opt.meshDir = meshDirFlag.empty() ? opt.outdir + "/mesh" : meshDirFlag;
+    if (opt.meshEvery < 0) {
+        std::fprintf(stderr, "--mesh must be >= 0\n");
+        return 2;
+    }
+    if (opt.meshEvery > 0) {
+        for (const auto& tok : splitObserverList(meshPhasesFlag)) {
+            char* end = nullptr;
+            const long p = std::strtol(tok.c_str(), &end, 10);
+            if (*end != '\0' || p < 0 || p >= core::N) {
+                std::fprintf(stderr,
+                             "--mesh-phases entry '%s' is not a phase index "
+                             "in [0,%d)\n",
+                             tok.c_str(), core::N);
+                return 2;
+            }
+            opt.meshPhases.push_back(static_cast<int>(p));
+        }
+        if (opt.meshPhases.empty()) {
+            std::fprintf(stderr, "--mesh-phases is empty\n");
+            return 2;
+        }
+        // The pipeline's determinism contract needs blocks spanning the
+        // periodic x/y extent (mesh_pipeline.h): cube corners wrap laterally
+        // instead of reading corner ghosts the D3C19 exchange doesn't fill.
+        if (blockGiven && (block.x != size.x || block.y != size.y)) {
+            std::fprintf(stderr,
+                         "tpf-sim: --mesh needs blocks spanning the full x/y "
+                         "extent (z-split only); got block %d,%d,%d for "
+                         "domain %d,%d,%d\n",
+                         block.x, block.y, block.z, size.x, size.y, size.z);
+            return 2;
+        }
+        if (!opt.restart.empty()) {
+            // Fail fast (before spawning ranks) when the existing mesh index
+            // cannot be continued, mirroring the analysis series check.
+            const std::string csvPath = opt.meshDir + "/mesh_index.csv";
+            if (std::filesystem::exists(csvPath)) {
+                analysis::MeshObserver::Options mo;
+                mo.dir = opt.meshDir;
+                mo.phases = opt.meshPhases;
+                mo.every = opt.meshEvery;
+                const analysis::MeshObserver probe(mo);
+                try {
+                    const io::CsvSeries series = io::readCsvSeries(csvPath);
+                    const std::string schema =
+                        std::string("# ") + analysis::kMeshCsvTag + " v" +
+                        std::to_string(analysis::kMeshCsvVersion);
+                    if (series.schema != schema) {
+                        std::fprintf(stderr,
+                                     "tpf-sim: %s carries schema '%s' but "
+                                     "this build writes '%s'; move the "
+                                     "series aside or use a fresh "
+                                     "--mesh-dir\n",
+                                     csvPath.c_str(), series.schema.c_str(),
+                                     schema.c_str());
+                        return 2;
+                    }
+                    std::string header = "step";
+                    for (const auto& c : probe.columns()) header += "," + c;
+                    std::string existing;
+                    for (const auto& c : series.columns)
+                        existing += (existing.empty() ? "" : ",") + c;
+                    if (existing != header) {
+                        std::fprintf(stderr,
+                                     "tpf-sim: %s has columns\n  %s\nbut the "
+                                     "configured --mesh-phases produce\n  "
+                                     "%s\npass the original --mesh-phases or "
+                                     "a fresh --mesh-dir\n",
                                      csvPath.c_str(), existing.c_str(),
                                      header.c_str());
                         return 2;

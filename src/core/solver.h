@@ -103,6 +103,10 @@ public:
     GhostExchange& phiExchange() { return *phiEx_; }
     GhostExchange& muExchange() { return *muEx_; }
     vmpi::Comm* comm() { return comm_; }
+    /// Intra-rank sweep pool (nullptr when cfg.threads == 1). Shared with
+    /// post-step observers so in-situ work — e.g. the mesh-extraction
+    /// pipeline — fans out over the same workers as the kernel sweeps.
+    util::ThreadPool* pool() { return pool_.get(); }
 
     /// Restore state (used by checkpointing): fields are assumed loaded;
     /// re-synchronizes ghosts and sets the clocks *and* the timeloop step

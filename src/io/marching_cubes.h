@@ -14,6 +14,7 @@
 #include "core/sim_block.h"
 #include "grid/field.h"
 #include "io/mesh.h"
+#include "util/thread_pool.h"
 
 namespace tpf::io {
 
@@ -23,6 +24,22 @@ namespace tpf::io {
 /// positions are cell-center coordinates shifted by \p origin.
 TriMesh extractIsoSurface(const Field<double>& field, int component, double iso,
                           Vec3 origin);
+
+/// Thread-parallel variant: the cube sweep fans out over the fixed z-slab
+/// partition of core/slab_sweep.h with deterministic per-slab append order,
+/// so the result is bitwise identical for every thread count (nullptr or a
+/// 1-thread pool: serial).
+TriMesh extractIsoSurface(const Field<double>& field, int component, double iso,
+                          Vec3 origin, util::ThreadPool* pool);
+
+/// Extract only the cubes whose lower corner z lies in [z0, z1), reading the
+/// +1 lateral corners through periodic x/y self-wrap instead of ghost cells
+/// (valid when the block spans the whole periodic x/y extent, the production
+/// z-slab decomposition); only the z ghost planes are read, which the D3C19
+/// phi exchange keeps valid. This is the per-chunk unit of the in-situ
+/// rank-parallel pipeline (io/mesh_pipeline.h).
+TriMesh extractIsoSurfaceWrapXY(const Field<double>& field, int component,
+                                double iso, Vec3 origin, int z0, int z1);
 
 /// Interface mesh of one phase of a simulation block (phi_a = 0.5 surface)
 /// in global cell coordinates.

@@ -41,21 +41,57 @@ void TriMesh::weldVertices(double tol) {
     TPF_ASSERT(tol > 0.0, "weld tolerance must be positive");
     const double inv = 1.0 / tol;
 
-    std::unordered_map<QuantKey, int, QuantKeyHash> lookup;
-    lookup.reserve(vertices.size());
+    // Hash grid of kept-vertex indices per quantization bin. A bin can hold
+    // several representatives (points within a bin but further than tol
+    // apart along some axis stay distinct), so each bin stores the head of
+    // an intrusive chain through chainPrev — a per-bin std::vector would
+    // cost one heap allocation per bin, which dominates the weld on raw
+    // marching-tet output where nearly every kept vertex opens a new bin.
+    std::unordered_map<QuantKey, int, QuantKeyHash> bins;
+    bins.reserve(vertices.size());
     std::vector<int> remap(vertices.size());
     std::vector<Vec3> keptVertices;
     keptVertices.reserve(vertices.size());
+    std::vector<int> chainPrev; ///< kept index -> previous kept in same bin
+    chainPrev.reserve(vertices.size());
 
     for (std::size_t i = 0; i < vertices.size(); ++i) {
         const Vec3& v = vertices[i];
-        const QuantKey key{static_cast<std::int64_t>(std::llround(v.x * inv)),
-                           static_cast<std::int64_t>(std::llround(v.y * inv)),
-                           static_cast<std::int64_t>(std::llround(v.z * inv))};
-        auto [it, inserted] =
-            lookup.try_emplace(key, static_cast<int>(keptVertices.size()));
-        if (inserted) keptVertices.push_back(v);
-        remap[i] = it->second;
+        const std::int64_t bx = static_cast<std::int64_t>(std::llround(v.x * inv));
+        const std::int64_t by = static_cast<std::int64_t>(std::llround(v.y * inv));
+        const std::int64_t bz = static_cast<std::int64_t>(std::llround(v.z * inv));
+        // Probe the 27 neighbor bins: two points within tol can land in
+        // adjacent bins when they straddle a quantization boundary, which
+        // used to leave hairline cracks at tet/cube seams. Among all
+        // candidates within tol (per axis) the earliest-kept index wins, so
+        // welding stays a pure function of the input vertex order —
+        // first-insertion order, never the hash layout.
+        int match = -1;
+        for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const auto it = bins.find(QuantKey{bx + dx, by + dy, bz + dz});
+                    if (it == bins.end()) continue;
+                    for (int k = it->second; k >= 0;
+                         k = chainPrev[static_cast<std::size_t>(k)]) {
+                        const Vec3& u = keptVertices[static_cast<std::size_t>(k)];
+                        if (std::abs(u.x - v.x) <= tol &&
+                            std::abs(u.y - v.y) <= tol &&
+                            std::abs(u.z - v.z) <= tol &&
+                            (match < 0 || k < match))
+                            match = k;
+                    }
+                }
+            }
+        }
+        if (match < 0) {
+            match = static_cast<int>(keptVertices.size());
+            keptVertices.push_back(v);
+            const auto ins = bins.emplace(QuantKey{bx, by, bz}, match);
+            chainPrev.push_back(ins.second ? -1 : ins.first->second);
+            ins.first->second = match;
+        }
+        remap[i] = match;
     }
 
     std::vector<std::array<int, 3>> keptTriangles;

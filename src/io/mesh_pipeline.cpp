@@ -1,0 +1,189 @@
+#include "io/mesh_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "core/slab_sweep.h"
+#include "io/marching_cubes.h"
+#include "io/reduction.h"
+#include "io/simplify.h"
+#include "perf/perf.h"
+#include "util/assert.h"
+
+namespace tpf::io {
+
+namespace {
+
+/// One canonical extraction chunk: a kSlabHeight z-slab of one local slab.
+struct ChunkRef {
+    const Field<double>* field = nullptr;
+    Int3 origin;    ///< global origin of the owning slab
+    int lz0 = 0;    ///< local z of the chunk's first cube plane
+    int lz1 = 0;    ///< local z one past the chunk's last cube plane
+    int gz0 = 0;    ///< global z of the chunk (the canonical sort key)
+    TriMesh mesh;
+};
+
+/// Record framing inside the gathered blob: global chunk z + payload size,
+/// then the serializeMesh() bytes. Trivially copyable, 8-byte fields.
+struct ChunkHeader {
+    std::int64_t gz0 = 0;
+    std::uint64_t bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<ChunkHeader>);
+
+void runOverChunks(std::vector<ChunkRef>& chunks, util::ThreadPool* pool,
+                   const std::function<void(ChunkRef&)>& fn) {
+    if (pool != nullptr && pool->threads() > 1 && chunks.size() > 1) {
+        pool->parallelFor(static_cast<int>(chunks.size()), [&](int i) {
+            fn(chunks[static_cast<std::size_t>(i)]);
+        });
+    } else {
+        for (ChunkRef& c : chunks) fn(c);
+    }
+}
+
+} // namespace
+
+TriMesh stitchIsoSurface(const std::vector<MeshLocalSlab>& slabs,
+                         int component, vmpi::Comm* comm,
+                         const MeshPipelineOptions& opt,
+                         MeshPipelineTimings* timings) {
+    // Canonical chunking: every slab interior splits into the same fixed
+    // kSlabHeight z-slabs the kernel sweeps use. The partition is a function
+    // of the interval alone, so with block z-splits aligned to the slab grid
+    // the chunk set — and every chunk's input — is identical in any
+    // ranks x threads decomposition.
+    std::vector<ChunkRef> chunks;
+    for (const MeshLocalSlab& s : slabs) {
+        TPF_ASSERT(s.field != nullptr && s.field->ghost() >= 1,
+                   "mesh pipeline slabs need a field with a ghost layer");
+        const CellInterval interior{0, 0, 0, s.field->nx() - 1,
+                                    s.field->ny() - 1, s.field->nz() - 1};
+        for (const CellInterval& c : core::slabPartition(interior)) {
+            ChunkRef r;
+            r.field = s.field;
+            r.origin = s.origin;
+            r.lz0 = c.zMin;
+            r.lz1 = c.zMax + 1;
+            r.gz0 = s.origin.z + c.zMin;
+            chunks.push_back(std::move(r));
+        }
+    }
+
+    // Stage 1: per-chunk extraction (lateral self-wrap + z ghosts, welded).
+    double t0 = perf::now();
+    runOverChunks(chunks, opt.pool, [&](ChunkRef& c) {
+        c.mesh = extractIsoSurfaceWrapXY(
+            *c.field, component, opt.iso,
+            Vec3{static_cast<double>(c.origin.x),
+                 static_cast<double>(c.origin.y),
+                 static_cast<double>(c.origin.z)},
+            c.lz0, c.lz1);
+    });
+    if (timings != nullptr) timings->extractSec += perf::now() - t0;
+
+    // Stage 2: in-situ data reduction. The chunk's open-boundary vertices —
+    // chunk interfaces and domain borders — are locked, so the interfaces
+    // survive bit-exactly for the stitching weld (the paper's high-weight
+    // boundary preservation).
+    t0 = perf::now();
+    if (opt.reduceTarget < 1.0) {
+        runOverChunks(chunks, opt.pool, [&](ChunkRef& c) {
+            if (c.mesh.empty()) return;
+            const std::vector<char> locked = c.mesh.openBoundaryVertices();
+            SimplifyOptions so;
+            so.targetTriangles = static_cast<std::size_t>(std::ceil(
+                std::max(0.0, opt.reduceTarget) *
+                static_cast<double>(c.mesh.numTriangles())));
+            so.maxError = opt.maxError;
+            so.lockedFlags = &locked;
+            simplifyMesh(c.mesh, so);
+        });
+    }
+    if (timings != nullptr) timings->simplifySec += perf::now() - t0;
+
+    // Stage 3: serialize in ascending global-z order, rank-ordered gather,
+    // canonical stitch on root.
+    t0 = perf::now();
+    std::stable_sort(chunks.begin(), chunks.end(),
+                     [](const ChunkRef& a, const ChunkRef& b) {
+                         return a.gz0 < b.gz0;
+                     });
+    std::vector<std::byte> blob;
+    for (const ChunkRef& c : chunks) {
+        const std::vector<std::byte> payload = serializeMesh(c.mesh);
+        ChunkHeader h;
+        h.gz0 = c.gz0;
+        h.bytes = payload.size();
+        const std::size_t at = blob.size();
+        blob.resize(at + sizeof h + payload.size());
+        std::memcpy(blob.data() + at, &h, sizeof h);
+        std::memcpy(blob.data() + at + sizeof h, payload.data(),
+                    payload.size());
+    }
+    chunks.clear();
+
+    std::vector<std::vector<std::byte>> perRank;
+    if (comm != nullptr && comm->size() > 1) {
+        perRank = comm->gatherAllBytes(blob);
+        if (!comm->isRoot()) {
+            if (timings != nullptr) timings->gatherSec += perf::now() - t0;
+            return {};
+        }
+    } else {
+        perRank.push_back(std::move(blob));
+    }
+
+    // Parse every rank's records and append in ascending global-z order.
+    // Chunk z keys are unique (z-only decomposition), so the sort makes the
+    // triangle stream independent of which rank produced which chunk.
+    std::vector<std::pair<std::int64_t, TriMesh>> parts;
+    for (const std::vector<std::byte>& rankBlob : perRank) {
+        std::size_t at = 0;
+        while (at < rankBlob.size()) {
+            TPF_ASSERT(at + sizeof(ChunkHeader) <= rankBlob.size(),
+                       "truncated mesh chunk header");
+            ChunkHeader h;
+            std::memcpy(&h, rankBlob.data() + at, sizeof h);
+            at += sizeof h;
+            TPF_ASSERT(at + h.bytes <= rankBlob.size(),
+                       "truncated mesh chunk payload");
+            std::vector<std::byte> payload(
+                rankBlob.begin() + static_cast<std::ptrdiff_t>(at),
+                rankBlob.begin() + static_cast<std::ptrdiff_t>(at + h.bytes));
+            at += h.bytes;
+            parts.emplace_back(h.gz0, deserializeMesh(payload));
+        }
+    }
+    std::stable_sort(parts.begin(), parts.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+
+    TriMesh stitched;
+    for (auto& [gz0, part] : parts) stitched.append(part);
+    stitched.weldVertices(opt.weldTol); // the final boundary weld
+    if (timings != nullptr) timings->gatherSec += perf::now() - t0;
+    return stitched;
+}
+
+TriMesh extractGlobalPhaseSurface(
+    const std::vector<std::unique_ptr<core::SimBlock>>& blocks,
+    const BlockForest& bf, vmpi::Comm* comm, int phase,
+    const MeshPipelineOptions& opt, MeshPipelineTimings* timings) {
+    TPF_ASSERT(bf.blockGrid().x == 1 && bf.blockGrid().y == 1,
+               "the in-situ mesh pipeline needs the z-slab decomposition "
+               "(blocks spanning the full periodic x/y extent)");
+    std::vector<MeshLocalSlab> slabs;
+    slabs.reserve(blocks.size());
+    for (const auto& b : blocks)
+        slabs.push_back(MeshLocalSlab{&b->phiSrc, b->origin});
+    return stitchIsoSurface(slabs, phase, comm, opt, timings);
+}
+
+} // namespace tpf::io

@@ -242,6 +242,7 @@ std::size_t simplifyMesh(TriMesh& mesh, const SimplifyOptions& opt) {
     std::size_t collapses = 0;
     const std::size_t target =
         opt.targetTriangles == 0 ? 1 : opt.targetTriangles;
+    std::vector<int> neighbors; // reused across collapses (hot loop)
 
     while (aliveFaces > target && !heap.empty()) {
         const HeapEntry top = heap.top();
@@ -300,11 +301,24 @@ std::size_t simplifyMesh(TriMesh& mesh, const SimplifyOptions& opt) {
         conn.vertexFaces[v2].clear();
         ++collapses;
 
+        // Compact v1's face list while it is hot: dead faces would otherwise
+        // accumulate and every later fold-over check around this vertex
+        // would rescan them.
+        {
+            auto& vf = conn.vertexFaces[v1];
+            vf.erase(std::remove_if(vf.begin(), vf.end(),
+                                    [&](int f) {
+                                        return !conn.faceAlive
+                                            [static_cast<std::size_t>(f)];
+                                    }),
+                     vf.end());
+        }
+
         // Refresh candidate edges around the merged vertex. Sorted-unique
         // vector, not an unordered_set: the push order seeds the collapse
         // heap, and heap tie-breaking must not inherit hash iteration order
         // (tpf-lint: unordered-iteration).
-        std::vector<int> neighbors;
+        neighbors.clear();
         for (int f : conn.vertexFaces[v1]) {
             if (!conn.faceAlive[static_cast<std::size_t>(f)]) continue;
             for (int c : mesh.triangles[static_cast<std::size_t>(f)])

@@ -1,6 +1,7 @@
 #include "io/writers.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -13,9 +14,16 @@ void writeObj(const std::string& path, const TriMesh& mesh) {
     std::ofstream out(path);
     TPF_ASSERT(out.good(), "cannot open OBJ file for writing");
     out << "# TernaryPF surface mesh\n";
-    out.precision(9);
-    for (const Vec3& v : mesh.vertices)
-        out << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+    // %.17g round-trips IEEE-754 doubles exactly: readObj() reconstructs the
+    // mesh bitwise, and two runs producing bitwise-identical meshes write
+    // byte-identical files (the mesh_rank_invariance contract compares the
+    // OBJ artifacts directly).
+    char line[128];
+    for (const Vec3& v : mesh.vertices) {
+        std::snprintf(line, sizeof line, "v %.17g %.17g %.17g\n", v.x, v.y,
+                      v.z);
+        out << line;
+    }
     for (const auto& t : mesh.triangles)
         out << "f " << t[0] + 1 << ' ' << t[1] + 1 << ' ' << t[2] + 1 << '\n';
     TPF_ASSERT(out.good(), "OBJ write failed");

@@ -4,12 +4,22 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "comm/exchange.h"
 #include "io/marching_cubes.h"
+#include "io/mesh_pipeline.h"
 #include "io/reduction.h"
 #include "io/simplify.h"
+#include "io/writers.h"
+#include "util/thread_pool.h"
 #include "vmpi/comm.h"
 
 namespace tpf::io {
@@ -86,6 +96,77 @@ TEST(IsoSurface, PerBlockExtractionStitchesToClosedSurface) {
     EXPECT_EQ(a.eulerCharacteristic(), 2);
 }
 
+TEST(IsoSurface, SphereTrianglesAreOrientedOutward) {
+    // Regression for the orientation reference point: the ni == 1 tet case
+    // must use the lone *inside* corner (not blend it with the outside
+    // corners), otherwise a fraction of the sphere's triangles flip inward.
+    const Vec3 center{16, 16, 16};
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, center, 9.0, {0, 0, 0});
+    TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    ASSERT_GT(m.numTriangles(), 1000u);
+
+    for (const auto& t : m.triangles) {
+        const Vec3& a = m.vertices[static_cast<std::size_t>(t[0])];
+        const Vec3& b = m.vertices[static_cast<std::size_t>(t[1])];
+        const Vec3& c = m.vertices[static_cast<std::size_t>(t[2])];
+        const Vec3 n = (b - a).cross(c - a);
+        const Vec3 centroid = (a + b + c) * (1.0 / 3.0);
+        // On a convex surface every outward normal points away from the
+        // center; a single flipped triangle fails here.
+        ASSERT_GT(n.dot(centroid - center), 0.0)
+            << "inward-facing triangle on a sphere";
+    }
+}
+
+TEST(IsoSurface, ExactIsoHitsProduceNoDegenerateTriangles) {
+    // Cell values that hit the iso value exactly put edge points bitwise on
+    // cell centers; the tetrahedra around such a corner emit zero-area
+    // triangles that must be skipped at emit time (not left to the weld).
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+    int snapped = 0;
+    forEachCell(f.withGhosts(), [&](int x, int y, int z) {
+        if (std::abs(f(x, y, z, 0) - 0.5) < 0.15) {
+            f(x, y, z, 0) = 0.5;
+            ++snapped;
+        }
+    });
+    ASSERT_GT(snapped, 100) << "fixture must exercise exact iso hits";
+
+    const TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    ASSERT_GT(m.numTriangles(), 1000u);
+    for (const auto& t : m.triangles) {
+        const Vec3& a = m.vertices[static_cast<std::size_t>(t[0])];
+        const Vec3& b = m.vertices[static_cast<std::size_t>(t[1])];
+        const Vec3& c = m.vertices[static_cast<std::size_t>(t[2])];
+        ASSERT_GT((b - a).cross(c - a).norm(), 0.0)
+            << "zero-area triangle emitted on exact iso hit";
+    }
+    EXPECT_TRUE(m.isClosed()) << "exact-hit surface must stay watertight";
+    EXPECT_EQ(m.eulerCharacteristic(), 2);
+}
+
+TEST(IsoSurface, ThreadPoolDoesNotChangeTheMesh) {
+    // The slab fan-out appends per-slab parts in slab order, so the extracted
+    // mesh is bitwise independent of the worker count.
+    Field<double> f(32, 32, 32, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {16, 16, 16}, 9.0, {0, 0, 0});
+
+    const TriMesh serial = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    util::ThreadPool pool(4);
+    const TriMesh threaded = extractIsoSurface(f, 0, 0.5, {0, 0, 0}, &pool);
+
+    ASSERT_EQ(threaded.numVertices(), serial.numVertices());
+    ASSERT_EQ(threaded.numTriangles(), serial.numTriangles());
+    EXPECT_EQ(threaded.triangles, serial.triangles);
+    for (std::size_t i = 0; i < serial.vertices.size(); ++i) {
+        EXPECT_EQ(threaded.vertices[i].x, serial.vertices[i].x);
+        EXPECT_EQ(threaded.vertices[i].y, serial.vertices[i].y);
+        EXPECT_EQ(threaded.vertices[i].z, serial.vertices[i].z);
+    }
+}
+
 TEST(Mesh, WeldMergesDuplicates) {
     TriMesh m;
     m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
@@ -102,6 +183,52 @@ TEST(Mesh, WeldDropsDegenerateTriangles) {
     m.triangles = {{0, 1, 2}};
     m.weldVertices(1e-6);
     EXPECT_EQ(m.numTriangles(), 0u);
+}
+
+TEST(Mesh, WeldMergesAcrossQuantizationBinBoundary) {
+    // Two copies of a vertex 0.4*tol apart that quantize into *different*
+    // bins (they straddle a bin edge at 0.5*tol): the 27-neighbor probe must
+    // still weld them. A single-bin hash lookup misses this pair and leaves
+    // a crack along the block seam.
+    const double tol = 1e-6;
+    TriMesh m;
+    m.vertices = {{0.3 * tol, 0.0, 0.0}, {1, 0, 0}, {0, 1, 0},
+                  {0.7 * tol, 0.0, 0.0}, {1, 0, 0}, {0, -1, 0}};
+    m.triangles = {{0, 1, 2}, {3, 4, 5}};
+    m.weldVertices(tol);
+
+    EXPECT_EQ(m.numVertices(), 4u);
+    EXPECT_EQ(m.numTriangles(), 2u);
+    // First-insertion order: the kept representative is the earliest copy.
+    EXPECT_EQ(m.vertices[0].x, 0.3 * tol);
+    EXPECT_EQ(m.triangles[1][0], 0);
+}
+
+TEST(Mesh, ObjRoundTripIsBitwiseExact) {
+    // writeObj emits %.17g coordinates, so read-back reconstructs every
+    // double exactly — the property the rank-invariance OBJ byte comparison
+    // and checkpoint-restart frame rewrites rely on.
+    Field<double> f(24, 24, 24, 1, 1, Layout::fzyx);
+    fillSphere(f, 0, {12, 12, 12}, 7.0, {0, 0, 0});
+    const TriMesh m = extractIsoSurface(f, 0, 0.5, {0, 0, 0});
+    ASSERT_GT(m.numTriangles(), 100u);
+
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() /
+                          ("tpf_mesh_objrt_" + std::to_string(::getpid()) +
+                           ".obj");
+    writeObj(path.string(), m);
+    const TriMesh back = readObj(path.string());
+    fs::remove(path);
+
+    ASSERT_EQ(back.numVertices(), m.numVertices());
+    ASSERT_EQ(back.numTriangles(), m.numTriangles());
+    EXPECT_EQ(back.triangles, m.triangles);
+    for (std::size_t i = 0; i < m.vertices.size(); ++i) {
+        EXPECT_EQ(back.vertices[i].x, m.vertices[i].x);
+        EXPECT_EQ(back.vertices[i].y, m.vertices[i].y);
+        EXPECT_EQ(back.vertices[i].z, m.vertices[i].z);
+    }
 }
 
 // --- simplification ---
@@ -250,6 +377,89 @@ TEST(Reduction, SerialPathJustWeldsAndCoarsens) {
     const TriMesh out = reduceMeshHierarchical(std::move(m), nullptr, opt);
     EXPECT_LE(out.numTriangles(), 220u);
     EXPECT_TRUE(out.isClosed());
+}
+
+// --- in-situ stitching pipeline ---
+
+namespace {
+
+/// Run the stitching pipeline over a 32^3 sphere split into \p ranks z-slabs
+/// and return root's stitched mesh (serial path when ranks == 1 and
+/// threads == 0 is requested via pool == nullptr).
+TriMesh stitchSphere(int ranks, int threads, double reduceTarget) {
+    const Vec3 center{16, 16, 16};
+    const double r = 10.0;
+    TriMesh result;
+    const auto body = [&](vmpi::Comm* comm) {
+        const int rank = comm != nullptr ? comm->rank() : 0;
+        const int nz = 32 / ranks;
+        const int zBase = nz * rank;
+        Field<double> f(32, 32, nz, 1, 1, Layout::fzyx);
+        fillSphere(f, 0, center, r, {0, 0, static_cast<double>(zBase)});
+
+        MeshPipelineOptions opt;
+        opt.reduceTarget = reduceTarget;
+        std::unique_ptr<util::ThreadPool> pool;
+        if (threads > 1) {
+            pool = std::make_unique<util::ThreadPool>(threads);
+            opt.pool = pool.get();
+        }
+        const std::vector<MeshLocalSlab> slabs{
+            MeshLocalSlab{&f, Int3{0, 0, zBase}}};
+        TriMesh stitched = stitchIsoSurface(slabs, 0, comm, opt);
+        if (comm == nullptr || comm->isRoot())
+            result = std::move(stitched);
+        else
+            EXPECT_TRUE(stitched.empty());
+    };
+    if (ranks == 1)
+        body(nullptr);
+    else
+        vmpi::runParallel(ranks, [&](vmpi::Comm& comm) { body(&comm); });
+    return result;
+}
+
+} // namespace
+
+TEST(MeshPipeline, StitchedSphereIsClosedWithAccurateArea) {
+    // The paper's acceptance property: closed surface, chi = 2, area within
+    // 2% of 4*pi*r^2 — both for the raw stitched extraction and after the
+    // in-situ boundary-locked simplification, serial and for every rank
+    // count whose z-splits align with the canonical chunk grid.
+    const double analytic = 4.0 * M_PI * 10.0 * 10.0;
+    for (const int ranks : {1, 2, 4}) {
+        for (const double reduce : {1.0, 0.25}) {
+            const TriMesh m = stitchSphere(ranks, 1, reduce);
+            SCOPED_TRACE("ranks=" + std::to_string(ranks) +
+                         " reduce=" + std::to_string(reduce));
+            ASSERT_GT(m.numTriangles(), 100u);
+            EXPECT_TRUE(m.isClosed());
+            EXPECT_EQ(m.eulerCharacteristic(), 2);
+            EXPECT_NEAR(m.totalArea(), analytic, 0.02 * analytic);
+            if (reduce < 1.0) {
+                EXPECT_LT(m.numTriangles(),
+                          stitchSphere(ranks, 1, 1.0).numTriangles() / 2);
+            }
+        }
+    }
+}
+
+TEST(MeshPipeline, StitchedMeshIsBitwiseRankAndThreadInvariant) {
+    // The determinism contract of mesh_pipeline.h at unit level: the same
+    // serialized bytes out of every ranks x threads decomposition.
+    const std::vector<std::byte> reference =
+        serializeMesh(stitchSphere(1, 1, 0.25));
+    ASSERT_FALSE(reference.empty());
+    for (const int ranks : {1, 2, 4}) {
+        for (const int threads : {1, 4}) {
+            if (ranks == 1 && threads == 1) continue;
+            SCOPED_TRACE("ranks=" + std::to_string(ranks) +
+                         " threads=" + std::to_string(threads));
+            EXPECT_TRUE(serializeMesh(stitchSphere(ranks, threads, 0.25)) ==
+                        reference)
+                << "stitched mesh bytes depend on the decomposition";
+        }
+    }
 }
 
 } // namespace

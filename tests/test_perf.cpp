@@ -323,6 +323,28 @@ TEST(BenchJson, CommittedTrajectoryIsValid) {
         prev = doc;
         havePrev = true;
     }
+
+    // The latest trajectory entry must carry the in-situ mesh pipeline
+    // measurements (bench_mesh) and stay inside the paper's budget: one
+    // frame every 100 steps must cost less than 10% of solver time, or the
+    // I/O-reduction argument of §3.2 collapses.
+    bool haveExtract = false, haveSimplify = false, haveGather = false;
+    double overhead = -1.0;
+    for (const auto& en : prev.entries) {
+        if (en.bench != "bench_mesh") continue;
+        if (en.variant.rfind("extract ", 0) == 0) haveExtract = true;
+        if (en.variant.rfind("simplify ", 0) == 0) haveSimplify = true;
+        if (en.variant.rfind("gather ", 0) == 0) haveGather = true;
+        if (en.variant == "overhead fraction cadence100 r1 t1")
+            overhead = en.mlups;
+    }
+    EXPECT_TRUE(haveExtract) << "latest BENCH is missing bench_mesh extract";
+    EXPECT_TRUE(haveSimplify) << "latest BENCH is missing bench_mesh simplify";
+    EXPECT_TRUE(haveGather) << "latest BENCH is missing bench_mesh gather";
+    ASSERT_GT(overhead, 0.0)
+        << "latest BENCH is missing the bench_mesh overhead fraction";
+    EXPECT_LT(overhead, 0.1)
+        << "in-situ extraction at cadence 100 exceeds 10% of solver time";
 }
 
 } // namespace
