@@ -17,7 +17,8 @@ set(checked_docs
     "${REPO_ROOT}/docs/KERNELS.md"
     "${REPO_ROOT}/docs/CORRECTNESS.md"
     "${REPO_ROOT}/docs/TRANSPORT.md"
-    "${REPO_ROOT}/docs/MESH.md")
+    "${REPO_ROOT}/docs/MESH.md"
+    "${REPO_ROOT}/docs/OBSERVABILITY.md")
 
 set(missing "")
 foreach(doc IN LISTS checked_docs)

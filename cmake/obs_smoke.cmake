@@ -1,0 +1,59 @@
+# Telemetry smoke at the CLI level (the library-level contract is
+# tests/test_obs.cpp): a hybrid moving-window run with the full telemetry
+# stack on (--trace, --metrics, --timing-summary) must
+#   1. checkpoint bitwise identically to the same run without telemetry
+#      (the non-perturbation contract, verified with `tpf-chk diff`),
+#   2. write a merged Chrome trace-event JSON that validates through
+#      `tpf-chk trace` (well-formed JSON, balanced B/E spans per rank,
+#      monotonic per-rank timestamps),
+#   3. write a metrics CSV that validates through `tpf-chk metrics`
+#      ("# tpf-metrics v1" schema, strictly increasing step keys).
+# Driven by ctest (smoke_obs) and by CI:
+#
+#   cmake -DTPF_SIM=<path> -DTPF_CHK=<path> -DOUT=<scratch-dir> \
+#         -P cmake/obs_smoke.cmake
+
+foreach(var TPF_SIM TPF_CHK OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "obs_smoke.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+set(common --scenario solidify --size 16,16,32 --ranks 2 --threads 2
+    --window --steps 10 --checkpoint-every 10)
+
+function(run_step)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        string(JOIN " " cmdline ${ARGN})
+        message(FATAL_ERROR "obs smoke failed (rc=${rc}): ${cmdline}")
+    endif()
+endfunction()
+
+# Bare reference vs fully instrumented run.
+run_step(${TPF_SIM} ${common} --out ${OUT}/bare)
+run_step(${TPF_SIM} ${common} --out ${OUT}/obs
+         --trace ${OUT}/obs/trace.json
+         --metrics ${OUT}/obs/metrics.csv --metrics-every 5
+         --timing-summary)
+
+# 1. Non-perturbation: identical checkpoints, or fail with the first
+#    divergent field and cell.
+run_step(${TPF_CHK} diff ${OUT}/bare/checkpoint_step000010
+         ${OUT}/obs/checkpoint_step000010)
+
+# 2. + 3. The artifacts validate.
+if(NOT EXISTS "${OUT}/obs/trace.json")
+    message(FATAL_ERROR "obs smoke: ${OUT}/obs/trace.json was not written")
+endif()
+run_step(${TPF_CHK} trace ${OUT}/obs/trace.json)
+
+if(NOT EXISTS "${OUT}/obs/metrics.csv")
+    message(FATAL_ERROR "obs smoke: ${OUT}/obs/metrics.csv was not written")
+endif()
+run_step(${TPF_CHK} metrics ${OUT}/obs/metrics.csv)
+
+message(STATUS "obs smoke: non-perturbing checkpoint + valid trace/metrics")

@@ -29,6 +29,7 @@
 #include "io/checkpoint.h"
 #include "io/csv_writer.h"
 #include "io/writers.h"
+#include "obs/run_obs.h"
 #include "perf/perf.h"
 #include "vmpi/comm.h"
 
@@ -51,6 +52,10 @@ struct RunOptions {
     int meshEvery = 0;         ///< in-situ mesh extraction cadence (0 = off)
     std::string meshDir;       ///< OBJ/index directory (default <out>/mesh)
     std::vector<int> meshPhases; ///< order parameters to mesh
+    std::string tracePath;     ///< merged Chrome trace JSON ("" = off)
+    std::string metricsPath;   ///< run-telemetry CSV ("" = off)
+    int metricsEvery = 10;     ///< metrics sampling cadence in steps
+    bool timingSummary = false; ///< end-of-run per-functor table
 };
 
 /// Split a comma-separated observer list ("fractions,lamellae,...").
@@ -104,9 +109,9 @@ void writeCheckpoint(const RunOptions& opt, core::Solver& solver,
     if (isRoot) std::printf("wrote %s/\n", dir.c_str());
 }
 
-void report(core::Solver& solver, bool isRoot) {
+int report(core::Solver& solver, bool isRoot) {
     // All three diagnostics are collective: every rank must make the calls,
-    // only root prints.
+    // only root prints. Returns the front position for the heartbeat line.
     const auto f = solver.phaseFractions();
     const auto sf = solver.solidFractions();
     const int front = solver.frontPosition();
@@ -114,6 +119,27 @@ void report(core::Solver& solver, bool isRoot) {
         std::printf("t=%9.2f  front=%4d  liquid=%.4f  "
                     "solids %.3f/%.3f/%.3f\n",
                     solver.time(), front, f[core::LIQ], sf[0], sf[1], sf[2]);
+    return front;
+}
+
+/// Root-only progress heartbeat: percent done, global step, interval
+/// throughput, front position and a wall-clock ETA for the remaining steps.
+void heartbeat(const RunOptions& opt, core::Solver& solver, long long cells,
+               int done, int sinceLast, double intervalSeconds, int front) {
+    const double mlups =
+        intervalSeconds > 0.0
+            ? static_cast<double>(cells) * sinceLast / intervalSeconds / 1e6
+            : 0.0;
+    const double sPerStep =
+        sinceLast > 0 ? intervalSeconds / sinceLast : 0.0;
+    const long long etaS =
+        static_cast<long long>(sPerStep * (opt.steps - done) + 0.5);
+    std::printf("[%3d%%] step %lld/%lld  %7.2f MLUP/s  front_z=%d  "
+                "eta %lld:%02lld\n",
+                opt.steps > 0 ? 100 * done / opt.steps : 100,
+                solver.stepsDone(),
+                solver.stepsDone() - done + opt.steps, mlups, front,
+                etaS / 60, etaS % 60);
 }
 
 /// Run the configured solver on one (possibly thread-backed) rank: scenario
@@ -218,6 +244,40 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
         if (opt.restart.empty()) mesh->sample(solver, solver.stepsDone());
     }
 
+    // Run telemetry (docs/OBSERVABILITY.md): per-rank trace spans and/or the
+    // metrics CSV. Attached last so the "obs-metrics" hook samples after the
+    // analysis/mesh hooks of the same step ran; the CSV setup mirrors the
+    // analysis pipeline's root-failure agreement above.
+    std::unique_ptr<obs::RunObs> runObs;
+    if (!opt.tracePath.empty() || !opt.metricsPath.empty()) {
+        obs::RunObsOptions oo;
+        oo.tracePath = opt.tracePath;
+        oo.metricsPath = opt.metricsPath;
+        oo.metricsEvery = opt.metricsEvery;
+        runObs = std::make_unique<obs::RunObs>(oo);
+        if (runObs->metricsEnabled()) {
+            int ok = 1;
+            if (isRoot) {
+                try {
+                    runObs->openMetricsCsv(!opt.restart.empty(),
+                                           solver.stepsDone());
+                    std::printf("metrics: every %d steps -> %s\n",
+                                opt.metricsEvery, opt.metricsPath.c_str());
+                } catch (const io::CsvError& e) {
+                    std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                    ok = 0;
+                }
+            }
+            if (comm && comm->size() > 1) ok = comm->bcast(ok);
+            if (!ok)
+                throw io::CsvError("metrics CSV setup failed on the root "
+                                   "rank (see the message above)");
+        }
+        if (isRoot && runObs->traceEnabled())
+            std::printf("trace: %s\n", opt.tracePath.c_str());
+        runObs->attach(solver);
+    }
+
     report(solver, isRoot); // collective: all ranks participate
     const double t0 = perf::now();
 
@@ -234,7 +294,10 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     const int chunk = std::max(1, opt.reportEvery > 0
                                       ? opt.reportEvery
                                       : std::max(1, opt.steps / 8));
+    const long long cells = static_cast<long long>(cfg.globalCells.x) *
+                            cfg.globalCells.y * cfg.globalCells.z;
     int lastReport = 0;
+    double lastReportT = t0;
     long long lastVtkStep = -1;
     for (int done = 0; done < opt.steps;) {
         // Stop at whichever boundary comes first: the report chunk or an
@@ -249,19 +312,36 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
         done = next;
 
         if (done - lastReport >= chunk || done == opt.steps) {
-            report(solver, isRoot);
+            const int front = report(solver, isRoot);
+            const double nowT = perf::now();
+            if (isRoot)
+                heartbeat(opt, solver, cells, done, done - lastReport,
+                          nowT - lastReportT, front);
             lastReport = done;
+            lastReportT = nowT;
         }
         if (opt.vtkEvery > 0 && solver.stepsDone() % opt.vtkEvery == 0) {
             if (isRoot) writeVtkSnapshot(opt, solver, solver.stepsDone());
             lastVtkStep = solver.stepsDone();
         }
         if (opt.checkpointEvery > 0 &&
-            solver.stepsDone() % opt.checkpointEvery == 0)
+            solver.stepsDone() % opt.checkpointEvery == 0) {
+            const double c0 = perf::now();
             writeCheckpoint(opt, solver, isRoot);
+            if (runObs && runObs->metricsEnabled())
+                runObs->metrics().counter("checkpoint_s").add(perf::now() - c0);
+        }
     }
 
     const double wall = perf::now() - t0;
+
+    // Post-run collectives, before the non-root ranks return: merge + write
+    // the trace, flush the final metrics row, gather the cross-rank
+    // per-functor totals for the timing summary.
+    if (runObs) runObs->finish(solver);
+    std::vector<obs::FunctorStats> functorStats;
+    if (opt.timingSummary) functorStats = obs::gatherTimingStats(solver);
+
     if (!isRoot) return;
 
     // Final artifacts: a VTK volume of the (root-rank) phi field plus the
@@ -270,8 +350,6 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     if (lastVtkStep != solver.stepsDone())
         writeVtkSnapshot(opt, solver, solver.stepsDone());
 
-    const long long cells = static_cast<long long>(cfg.globalCells.x) *
-                            cfg.globalCells.y * cfg.globalCells.z;
     std::printf("\n%d steps on %lld cells in %.2f s", opt.steps, cells, wall);
     if (wall > 0.0)
         std::printf("  (%.2f MLUP/s total)",
@@ -280,6 +358,32 @@ void runRank(const RunOptions& opt, const core::SolverConfig& cfg,
     for (const auto& t : solver.timeloop().timings())
         std::printf("  %-18s %8.3f s  %8.5f s\n", t.name.c_str(), t.seconds,
                     t.maxSeconds);
+    if (opt.timingSummary) {
+        // The full Timeloop::timings() table. For multi-rank runs the
+        // cross-rank columns expose load imbalance per functor (max/avg is
+        // the paper's Fig. 8 figure of merit): a well-hidden exchange shows
+        // imbalance ~1.0, a straggling rank pushes it up.
+        const bool multi = comm && comm->size() > 1;
+        if (multi)
+            std::printf("\ntiming summary across %d ranks "
+                        "(avg s / max s @rank / imbalance / spike s / calls):\n",
+                        comm->size());
+        else
+            std::printf("\ntiming summary "
+                        "(seconds / spike s / calls):\n");
+        for (const auto& f : functorStats) {
+            if (multi)
+                std::printf("  %-18s %8.3f  %8.3f @%-3d %6.2fx  %8.5f  %8lld\n",
+                            f.name.c_str(), f.avgSeconds, f.maxSeconds,
+                            f.maxRank,
+                            f.avgSeconds > 0.0 ? f.maxSeconds / f.avgSeconds
+                                               : 1.0,
+                            f.spikeSeconds, f.calls);
+            else
+                std::printf("  %-18s %8.3f  %8.5f  %8lld\n", f.name.c_str(),
+                            f.avgSeconds, f.spikeSeconds, f.calls);
+        }
+    }
     if (mesh) {
         const io::MeshPipelineTimings& mt = mesh->timings();
         std::printf("mesh pipeline (total): extract %.3f s  simplify %.3f s  "
@@ -351,6 +455,22 @@ int main(int argc, char** argv) {
     const std::string meshPhasesFlag = cli.getString(
         "mesh-phases", "0,1,2",
         "comma-separated order-parameter indices to mesh");
+    opt.tracePath = cli.getString(
+        "trace", "",
+        "write per-rank tracing spans as one merged Chrome trace-event JSON "
+        "to this file (open in Perfetto or chrome://tracing)");
+    opt.metricsPath = cli.getString(
+        "metrics", "",
+        "stream the run-telemetry CSV ('# tpf-metrics v1': MLUP/s, ghost "
+        "exchange, pool fan-out, window shifts, RSS, ...) to this file");
+    const int metricsEveryFlag = cli.getInt(
+        "metrics-every", 0,
+        "steps between metrics samples (0: 10; a nonzero value implies "
+        "--metrics <out>/metrics.csv when --metrics is not given)");
+    opt.timingSummary = cli.getFlag(
+        "timing-summary",
+        "print the end-of-run per-functor timing table (with cross-rank "
+        "max/avg load imbalance for --ranks > 1)");
     opt.outdir = cli.getString("out", "tpf_output", "output directory");
     const std::string overlap = cli.getString(
         "overlap", "mu", "communication hiding: none, mu, phi, both");
@@ -689,6 +809,57 @@ int main(int argc, char** argv) {
                     std::fprintf(stderr, "tpf-sim: %s\n", e.what());
                     return 2;
                 }
+            }
+        }
+    }
+
+    if (metricsEveryFlag < 0) {
+        std::fprintf(stderr, "--metrics-every must be >= 0\n");
+        return 2;
+    }
+    if (metricsEveryFlag > 0) {
+        opt.metricsEvery = metricsEveryFlag;
+        if (opt.metricsPath.empty())
+            opt.metricsPath = opt.outdir + "/metrics.csv";
+    }
+    if (!opt.metricsPath.empty() && !opt.restart.empty()) {
+        // Fail fast (before spawning ranks) when the existing telemetry
+        // series cannot be continued, mirroring the analysis series check.
+        if (std::filesystem::exists(opt.metricsPath)) {
+            const obs::RunObs probe({"", opt.metricsPath, opt.metricsEvery});
+            try {
+                const io::CsvSeries series =
+                    io::readCsvSeries(opt.metricsPath);
+                const std::string schema =
+                    std::string("# ") + obs::MetricsRegistry::kCsvTag + " v" +
+                    std::to_string(obs::MetricsRegistry::kCsvVersion);
+                if (series.schema != schema) {
+                    std::fprintf(stderr,
+                                 "tpf-sim: %s carries schema '%s' but this "
+                                 "build writes '%s'; move the series aside "
+                                 "or pass a fresh --metrics path\n",
+                                 opt.metricsPath.c_str(),
+                                 series.schema.c_str(), schema.c_str());
+                    return 2;
+                }
+                std::string header = "step";
+                for (const auto& c : probe.metricsColumns())
+                    header += "," + c;
+                std::string existing;
+                for (const auto& c : series.columns)
+                    existing += (existing.empty() ? "" : ",") + c;
+                if (existing != header) {
+                    std::fprintf(stderr,
+                                 "tpf-sim: %s has columns\n  %s\nbut this "
+                                 "build writes\n  %s\nmove the series aside "
+                                 "or pass a fresh --metrics path\n",
+                                 opt.metricsPath.c_str(), existing.c_str(),
+                                 header.c_str());
+                    return 2;
+                }
+            } catch (const io::CsvError& e) {
+                std::fprintf(stderr, "tpf-sim: %s\n", e.what());
+                return 2;
             }
         }
     }

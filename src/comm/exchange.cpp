@@ -1,6 +1,6 @@
 #include "comm/exchange.h"
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace tpf {
 
@@ -20,13 +20,7 @@ std::vector<Int3> makeOffsets(StencilKind k) {
     return out;
 }
 
-double now() {
-    // tpf-lint: allow(nondeterminism) -- observational wall-clock timing for
-    // the start/wait overlap counters; never feeds field state.
-    using clock = std::chrono::steady_clock;
-    // tpf-lint: allow(nondeterminism) -- same: timing only.
-    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
-}
+double now() { return obs::wallNow(); }
 
 constexpr int kMaxFieldSlots = 8;
 

@@ -189,9 +189,15 @@ void ruleUnorderedIteration(const ScannedFile& f, std::vector<Finding>& out) {
 // time(NULL), std::random_device and std::chrono values must not exist there
 // unless they are provably observational (wall-clock *timing*), which is
 // what the suppression comment records.
+//
+// src/obs is the sanctioned home for wall-clock reads (obs::wallNow wraps
+// the tree's only steady_clock call): every other subsystem that wants a
+// timestamp takes it through obs, which is what keeps this rule's
+// "deterministic path" claim checkable rather than a pile of suppressions.
 // ---------------------------------------------------------------------------
 void ruleNondeterminism(const ScannedFile& f, std::vector<Finding>& out) {
     static const char* kRule = "nondeterminism";
+    if (dirIs(f.path, "obs")) return; // the one place wall-clock may live
     if (!inAnyDir(f.path, {"core", "analysis", "grid", "comm", "vmpi",
                            "thermo", "simd", "util"}))
         return;
@@ -406,6 +412,62 @@ void ruleAssertMacro(const ScannedFile& f, std::vector<Finding>& out) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// obs-in-kernels: no observability hooks inside kernel bodies.
+//
+// The telemetry layer (src/obs) is provably non-perturbing only because its
+// hooks sit at functor granularity in the timeloop and at the fan-out choke
+// point in util/thread_pool — outside the per-cell hot loops. A TPF_SPAN or
+// obs:: call inside a kernel body header or an ISA-target TU would execute
+// millions of times per step, sink the <2% overhead contract pinned by
+// bench_obs/test_perf, and perturb the code layout of the very loops the
+// cross-backend bitwise-equivalence tests compare. Kernel bodies stay
+// obs-free; instrument the callers (timeloop functors, slab/fused sweeps).
+// ---------------------------------------------------------------------------
+void ruleObsInKernels(const ScannedFile& f, std::vector<Finding>& out) {
+    static const char* kRule = "obs-in-kernels";
+    const bool isBodyHeader =
+        dirIs(f.path, "core") && f.path.size() >= 7 &&
+        f.path.compare(f.path.size() - 7, 7, "_body.h") == 0;
+    if (!dirIs(f.path, "kernel_targets") && !isBodyHeader) return;
+
+    const auto flag = [&](int line, int col, const std::string& what) {
+        addFinding(out, f, kRule, line, col,
+                   what + " in a kernel body: obs hooks here run per cell, "
+                         "not per functor, which sinks the <2% telemetry "
+                         "overhead contract and perturbs the hot loops the "
+                         "cross-backend bitwise tests compare",
+                   "instrument the caller instead (timeloop functors, "
+                   "slab/fused sweep drivers) — kernel targets and *_body.h "
+                   "headers stay observability-free by construction");
+    };
+
+    // Tokens survive literal-blanking, so match against f.code.
+    static const std::regex tokRe(R"(\b(obs\s*::|TPF_SPAN\b))");
+    // #include "obs/..." has its path inside a string literal, which the
+    // scanner blanks in f.code — match the raw line for this one.
+    static const std::regex incRe(R"(#\s*include\s*"obs/)");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const std::string& line = f.code[i];
+        for (std::sregex_iterator it(line.begin(), line.end(), tokRe), end;
+             it != end; ++it) {
+            const std::smatch& m = *it;
+            const std::string what = m[1].str().rfind("TPF_SPAN", 0) == 0
+                                         ? std::string("TPF_SPAN")
+                                         : std::string("obs:: call");
+            flag(static_cast<int>(i) + 1,
+                 static_cast<int>(m.position(1)) + 1, what);
+        }
+        std::smatch im;
+        if (i < f.raw.size() &&
+            std::regex_search(f.raw[i], im, incRe)) {
+            flag(static_cast<int>(i) + 1,
+                 static_cast<int>(im.position(0)) + 1,
+                 "#include \"obs/...\"");
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo>& ruleCatalog() {
@@ -429,6 +491,10 @@ const std::vector<RuleInfo>& ruleCatalog() {
         {"assert-macro",
          "library code asserts with TPF_ASSERT/TPF_ASSERT_DBG, never bare "
          "assert() (which vanishes under NDEBUG)"},
+        {"obs-in-kernels",
+         "no telemetry hooks (obs::, TPF_SPAN, #include \"obs/...\") in "
+         "kernel targets or *_body.h kernel headers; instrument the callers "
+         "(timeloop functors, sweep drivers) instead"},
     };
     return catalog;
 }
@@ -451,6 +517,7 @@ std::vector<Finding> lintScanned(const ScannedFile& f,
     if (on("collective-in-conditional")) ruleCollectiveInConditional(f, out);
     if (on("raw-intrinsics")) ruleRawIntrinsics(f, out);
     if (on("assert-macro")) ruleAssertMacro(f, out);
+    if (on("obs-in-kernels")) ruleObsInKernels(f, out);
     return out;
 }
 

@@ -1,0 +1,21 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+#include <sys/resource.h>
+
+namespace tpf::obs {
+
+double wallNow() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+double rssHighWaterMiB() {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+    // ru_maxrss is KiB on Linux.
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+} // namespace tpf::obs

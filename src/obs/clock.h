@@ -1,0 +1,24 @@
+#pragma once
+/// \file clock.h
+/// The single wall-clock read point of the tree.
+///
+/// Everything deterministic (core, comm, vmpi, ...) is banned from
+/// std::chrono by tpf-lint's nondeterminism rule; observational timing calls
+/// this instead. Keeping the clock behind one out-of-line function makes the
+/// non-perturbation contract auditable: grep for `wallNow` finds every wall
+/// time read, and none of them can feed field state because the return value
+/// only ever lands in obs counters (docs/OBSERVABILITY.md).
+
+namespace tpf::obs {
+
+/// Seconds on a monotonic clock with an arbitrary epoch. CLOCK_MONOTONIC
+/// under glibc, so values are comparable across forked shm-transport ranks
+/// on one host — the property the cross-rank trace merge relies on.
+double wallNow();
+
+/// Resident-set high-water mark of the calling process in MiB
+/// (getrusage ru_maxrss). Per-process, i.e. shared by all thread-transport
+/// ranks but per-rank under the forked shm transport.
+double rssHighWaterMiB();
+
+} // namespace tpf::obs

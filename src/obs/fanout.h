@@ -1,0 +1,44 @@
+#pragma once
+/// \file fanout.h
+/// Pool fan-out accumulators: wall time of the fan-out region on the calling
+/// (rank loop) thread vs. summed per-task busy time across all threads. The
+/// ratio busy / (wall * threads) is the fan-out efficiency; a rank whose
+/// slabs are imbalanced shows wall >> busy / threads.
+///
+/// util::ThreadPool::parallelFor reads the *caller's* thread-local stats
+/// pointer once per fan-out; with none installed (metrics off) the cost is a
+/// thread-local read and a branch. Workers update through the captured
+/// pointer, so the accumulators are atomics. Values are telemetry only —
+/// they never feed field state (docs/OBSERVABILITY.md).
+
+#include <atomic>
+
+namespace tpf::obs {
+
+/// Relaxed CAS add — std::atomic<double>::fetch_add is C++20 but not worth a
+/// toolchain dependency for telemetry counters.
+inline void atomicAdd(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+struct FanoutStats {
+    std::atomic<long long> fanouts{0};
+    std::atomic<long long> tasks{0};
+    std::atomic<double> wallSeconds{0.0}; ///< caller-side fan-out duration
+    std::atomic<double> busySeconds{0.0}; ///< sum of task durations, all threads
+
+    void reset() {
+        fanouts.store(0, std::memory_order_relaxed);
+        tasks.store(0, std::memory_order_relaxed);
+        wallSeconds.store(0.0, std::memory_order_relaxed);
+        busySeconds.store(0.0, std::memory_order_relaxed);
+    }
+};
+
+/// The calling thread's installed fan-out sink (nullptr = off).
+FanoutStats* threadFanoutStats();
+void setThreadFanoutStats(FanoutStats* s);
+
+} // namespace tpf::obs

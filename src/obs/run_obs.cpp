@@ -1,0 +1,219 @@
+#include "obs/run_obs.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "util/assert.h"
+
+namespace tpf::obs {
+
+namespace {
+
+/// Cumulative seconds of the timeloop functor named \p name, 0 if absent
+/// (analysis/mesh hooks only exist when their observers are attached).
+double functorSeconds(core::Solver& s, const char* name) {
+    for (const auto& t : s.timeloop().timings())
+        if (t.name == name) return t.seconds;
+    return 0.0;
+}
+
+} // namespace
+
+RunObs::RunObs(RunObsOptions opt) : opt_(std::move(opt)) {
+    // Register every instrument up front: registration order is the CSV
+    // column order and must be identical on all ranks (and stable across
+    // versions — bump kCsvVersion when changing it).
+    metrics_.gauge("time");
+    metrics_.gauge("mlups");
+    metrics_.gauge("step_wall_s");
+    metrics_.histogram("interval_wall");
+    metrics_.gauge("phi_ex_bytes");
+    metrics_.gauge("phi_ex_start_s");
+    metrics_.gauge("phi_ex_wait_s");
+    metrics_.gauge("mu_ex_bytes");
+    metrics_.gauge("mu_ex_start_s");
+    metrics_.gauge("mu_ex_wait_s");
+    metrics_.gauge("fanout_wall_s");
+    metrics_.gauge("fanout_busy_s");
+    metrics_.gauge("fanout_tasks");
+    metrics_.gauge("window_offset_cells");
+    metrics_.counter("window_shifts");
+    metrics_.counter("checkpoint_s");
+    metrics_.gauge("analysis_s");
+    metrics_.gauge("mesh_s");
+    metrics_.gauge("rss_hwm_mib");
+}
+
+RunObs::~RunObs() {
+    // Exception-path cleanup: never leave dangling sinks installed.
+    if (attached_ && !finished_) {
+        if (traceEnabled() && threadTrace() == &trace_) setThreadTrace(nullptr);
+        if (metricsEnabled() && threadFanoutStats() == &fanout_)
+            setThreadFanoutStats(nullptr);
+    }
+}
+
+void RunObs::openMetricsCsv(bool restart, long long lastStep) {
+    TPF_ASSERT(metricsEnabled(), "openMetricsCsv with metrics off");
+    if (restart)
+        metrics_.resumeCsv(opt_.metricsPath, lastStep);
+    else
+        metrics_.createCsv(opt_.metricsPath);
+}
+
+void RunObs::attach(core::Solver& solver) {
+    TPF_ASSERT(!attached_, "RunObs::attach called twice");
+    attached_ = true;
+    if (traceEnabled()) setThreadTrace(&trace_);
+    if (!metricsEnabled()) return;
+
+    setThreadFanoutStats(&fanout_);
+    lastSampleStep_ = solver.stepsDone();
+    lastWall_ = wallNow();
+    lastPhiStart_ = solver.phiExchange().startSeconds();
+    lastPhiWait_ = solver.phiExchange().waitSeconds();
+    lastPhiBytes_ = solver.phiExchange().bytesSent();
+    lastMuStart_ = solver.muExchange().startSeconds();
+    lastMuWait_ = solver.muExchange().waitSeconds();
+    lastMuBytes_ = solver.muExchange().bytesSent();
+    lastFanoutTasks_ = 0;
+    lastFanoutWall_ = 0.0;
+    lastFanoutBusy_ = 0.0;
+    lastWindowOffset_ = solver.windowOffsetCells();
+
+    const int every = std::max(1, opt_.metricsEvery);
+    solver.addPostStepHook("obs-metrics", [this, &solver, every](long long step) {
+        if (step % every == 0) sampleMetrics(solver, step);
+    });
+    // Baseline row on fresh runs only: a restarted series already carries
+    // the checkpoint step's row (io::CsvWriter::resume kept it).
+    if (solver.stepsDone() == 0) sampleMetrics(solver, 0);
+}
+
+void RunObs::sampleMetrics(core::Solver& solver, long long step) {
+    vmpi::Comm* comm = solver.comm();
+    auto rmax = [comm](double v) { return comm ? comm->allreduceMax(v) : v; };
+    auto rsum = [comm](long long v) { return comm ? comm->allreduceSumLL(v) : v; };
+
+    const double nowS = wallNow();
+    const double wall = nowS - lastWall_;
+    const long long dSteps = step - lastSampleStep_;
+
+    const double phiStart = solver.phiExchange().startSeconds();
+    const double phiWait = solver.phiExchange().waitSeconds();
+    const std::size_t phiBytes = solver.phiExchange().bytesSent();
+    const double muStart = solver.muExchange().startSeconds();
+    const double muWait = solver.muExchange().waitSeconds();
+    const std::size_t muBytes = solver.muExchange().bytesSent();
+    const long long fTasks = fanout_.tasks.load(std::memory_order_relaxed);
+    const double fWall = fanout_.wallSeconds.load(std::memory_order_relaxed);
+    const double fBusy = fanout_.busySeconds.load(std::memory_order_relaxed);
+
+    const double wallMax = rmax(wall);
+    const auto& g = solver.config().globalCells;
+    const double cells = static_cast<double>(g.x) * g.y * g.z;
+    const double mlups = (wallMax > 0.0 && dSteps > 0)
+                             ? cells * static_cast<double>(dSteps) / wallMax / 1e6
+                             : 0.0;
+
+    metrics_.gauge("time").set(solver.time());
+    metrics_.gauge("mlups").set(mlups);
+    metrics_.gauge("step_wall_s").set(wallMax);
+    if (dSteps > 0) metrics_.histogram("interval_wall").observe(wallMax);
+    metrics_.gauge("phi_ex_bytes")
+        .set(static_cast<double>(rsum(static_cast<long long>(phiBytes - lastPhiBytes_))));
+    metrics_.gauge("phi_ex_start_s").set(rmax(phiStart - lastPhiStart_));
+    metrics_.gauge("phi_ex_wait_s").set(rmax(phiWait - lastPhiWait_));
+    metrics_.gauge("mu_ex_bytes")
+        .set(static_cast<double>(rsum(static_cast<long long>(muBytes - lastMuBytes_))));
+    metrics_.gauge("mu_ex_start_s").set(rmax(muStart - lastMuStart_));
+    metrics_.gauge("mu_ex_wait_s").set(rmax(muWait - lastMuWait_));
+    metrics_.gauge("fanout_wall_s").set(rmax(fWall - lastFanoutWall_));
+    metrics_.gauge("fanout_busy_s").set(rmax(fBusy - lastFanoutBusy_));
+    metrics_.gauge("fanout_tasks")
+        .set(static_cast<double>(rmax(static_cast<double>(fTasks - lastFanoutTasks_))));
+    metrics_.gauge("window_offset_cells").set(solver.windowOffsetCells());
+    if (solver.windowOffsetCells() != lastWindowOffset_)
+        metrics_.counter("window_shifts").inc();
+    metrics_.gauge("analysis_s").set(rmax(functorSeconds(solver, "analysis")));
+    metrics_.gauge("mesh_s").set(rmax(functorSeconds(solver, "mesh")));
+    metrics_.gauge("rss_hwm_mib").set(rmax(rssHighWaterMiB()));
+
+    if (metrics_.csvOpen()) metrics_.writeCsvRow(step);
+
+    lastSampleStep_ = step;
+    lastWall_ = nowS;
+    lastPhiStart_ = phiStart;
+    lastPhiWait_ = phiWait;
+    lastPhiBytes_ = phiBytes;
+    lastMuStart_ = muStart;
+    lastMuWait_ = muWait;
+    lastMuBytes_ = muBytes;
+    lastFanoutTasks_ = fTasks;
+    lastFanoutWall_ = fWall;
+    lastFanoutBusy_ = fBusy;
+    lastWindowOffset_ = solver.windowOffsetCells();
+}
+
+void RunObs::finish(core::Solver& solver) {
+    if (finished_ || !attached_) {
+        finished_ = true;
+        return;
+    }
+    finished_ = true;
+    vmpi::Comm* comm = solver.comm();
+
+    if (metricsEnabled()) {
+        if (solver.stepsDone() != lastSampleStep_)
+            sampleMetrics(solver, solver.stepsDone());
+        metrics_.closeCsv();
+        setThreadFanoutStats(nullptr);
+    }
+
+    if (traceEnabled()) {
+        setThreadTrace(nullptr);
+        const double localFirst = trace_.empty() ? wallNow() : trace_.firstTs();
+        const double epoch = comm ? comm->allreduceMin(localFirst) : localFirst;
+        const std::vector<std::byte> blob = trace_.serialize(epoch);
+        if (comm != nullptr) {
+            const auto all = comm->gatherAllBytes(blob);
+            if (comm->isRoot()) writeChromeTrace(opt_.tracePath, all);
+        } else {
+            writeChromeTrace(opt_.tracePath, {blob});
+        }
+    }
+}
+
+std::vector<FunctorStats> gatherTimingStats(core::Solver& solver) {
+    vmpi::Comm* comm = solver.comm();
+    const auto& timings = solver.timeloop().timings();
+    std::vector<FunctorStats> out;
+    out.reserve(timings.size());
+    for (const auto& t : timings) {
+        FunctorStats f;
+        f.name = t.name;
+        f.calls = t.calls;
+        if (comm == nullptr) {
+            f.avgSeconds = f.maxSeconds = t.seconds;
+            f.spikeSeconds = t.maxSeconds;
+        } else {
+            const std::vector<double> secs = comm->gather(t.seconds);
+            f.spikeSeconds = comm->allreduceMax(t.maxSeconds);
+            if (comm->isRoot()) {
+                double sum = 0.0;
+                for (std::size_t r = 0; r < secs.size(); ++r) {
+                    sum += secs[r];
+                    if (secs[r] > f.maxSeconds) {
+                        f.maxSeconds = secs[r];
+                        f.maxRank = static_cast<int>(r);
+                    }
+                }
+                f.avgSeconds = secs.empty() ? 0.0 : sum / static_cast<double>(secs.size());
+            }
+        }
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace tpf::obs

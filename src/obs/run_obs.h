@@ -1,0 +1,105 @@
+#pragma once
+/// \file run_obs.h
+/// RunObs wires the obs primitives (trace spans, metrics registry, fan-out
+/// stats) into one Solver run:
+///
+///  - attach() installs the per-rank trace + fan-out sinks on the calling
+///    rank thread and registers an "obs-metrics" post-step hook that samples
+///    the registry every metricsEvery steps (a collective: interval wall /
+///    exchange / fan-out values are reduced across ranks, the root writes
+///    the CSV row),
+///  - finish() is the post-run collective: merge + write the Chrome trace
+///    via vmpi::Comm::gatherAllBytes, flush a final metrics row, close the
+///    CSV and uninstall the sinks.
+///
+/// Everything RunObs owns lives outside the step data path; the only
+/// per-step cost when enabled is appending span events and reading counters
+/// the solver maintains anyway. See docs/OBSERVABILITY.md for the span
+/// taxonomy, the metrics schema and the non-perturbation argument.
+
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "obs/fanout.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tpf::obs {
+
+struct RunObsOptions {
+    std::string tracePath;   ///< "" = tracing off
+    std::string metricsPath; ///< "" = metrics off
+    int metricsEvery = 10;   ///< sampling cadence in steps (metrics only)
+};
+
+class RunObs {
+public:
+    explicit RunObs(RunObsOptions opt);
+    ~RunObs();
+    RunObs(const RunObs&) = delete;
+    RunObs& operator=(const RunObs&) = delete;
+
+    bool traceEnabled() const { return !opt_.tracePath.empty(); }
+    bool metricsEnabled() const { return !opt_.metricsPath.empty(); }
+
+    MetricsRegistry& metrics() { return metrics_; }
+    Trace& trace() { return trace_; }
+
+    /// The metrics CSV column set (fixed at construction; every rank agrees).
+    std::vector<std::string> metricsColumns() const { return metrics_.columns(); }
+
+    /// Open the metrics CSV on the writing rank. Fresh runs create();
+    /// restarted runs resume from the checkpoint step (rows newer than the
+    /// checkpoint are dropped, io::CsvWriter::resume). Throws io::CsvError.
+    void openMetricsCsv(bool restart, long long lastStep);
+
+    /// Install sinks on the calling rank thread and register the sampling
+    /// hook. Call on every rank, after solver.initialize() / restore and
+    /// after all other post-step hooks are registered (hook order must be
+    /// uniform across ranks).
+    void attach(core::Solver& solver);
+
+    /// Post-run collective: gather + write the merged trace, write a final
+    /// metrics row if the last step was not on the cadence, close the CSV,
+    /// uninstall the sinks. Safe to call once, on every rank.
+    void finish(core::Solver& solver);
+
+private:
+    void sampleMetrics(core::Solver& solver, long long step);
+
+    RunObsOptions opt_;
+    Trace trace_;
+    MetricsRegistry metrics_;
+    FanoutStats fanout_;
+    bool attached_ = false;
+    bool finished_ = false;
+
+    // Interval state of the sampling hook (per-rank).
+    long long lastSampleStep_ = 0;
+    double lastWall_ = 0.0;
+    double lastPhiStart_ = 0.0, lastPhiWait_ = 0.0;
+    double lastMuStart_ = 0.0, lastMuWait_ = 0.0;
+    std::size_t lastPhiBytes_ = 0, lastMuBytes_ = 0;
+    long long lastFanoutTasks_ = 0;
+    double lastFanoutWall_ = 0.0, lastFanoutBusy_ = 0.0;
+    double lastWindowOffset_ = 0.0;
+};
+
+/// One row of the cross-rank per-functor load table.
+struct FunctorStats {
+    std::string name;
+    long long calls = 0;
+    double avgSeconds = 0.0;   ///< mean across ranks of the summed fan-out wall
+    double maxSeconds = 0.0;   ///< slowest rank's total
+    int maxRank = 0;           ///< which rank that was
+    double spikeSeconds = 0.0; ///< largest single call on any rank
+};
+
+/// Gather Timeloop::timings() across ranks (collective; the cross-rank
+/// avg/max/maxRank fields are filled on the root, spikeSeconds everywhere).
+/// The max/avg ratio per functor is the load-imbalance figure of the
+/// paper's Fig. 8 analysis.
+std::vector<FunctorStats> gatherTimingStats(core::Solver& solver);
+
+} // namespace tpf::obs

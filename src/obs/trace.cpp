@@ -1,0 +1,514 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/clock.h"
+#include "util/assert.h"
+
+namespace tpf::obs {
+
+// ---------------------------------------------------------------------------
+// Recording
+
+namespace {
+thread_local Trace* tTrace = nullptr;
+} // namespace
+
+Trace* threadTrace() { return tTrace; }
+void setThreadTrace(Trace* t) { tTrace = t; }
+
+int Trace::intern(const char* name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+}
+
+void Trace::begin(const char* name) {
+    const int id = intern(name);
+    stack_.push_back(id);
+    events_.push_back({id, 0, wallNow()});
+}
+
+void Trace::end() {
+    TPF_ASSERT(!stack_.empty(), "Trace::end without a matching begin");
+    const int id = stack_.back();
+    stack_.pop_back();
+    events_.push_back({id, 1, wallNow()});
+}
+
+double Trace::firstTs() const { return events_.empty() ? 0.0 : events_.front().ts; }
+
+void Trace::clear() {
+    events_.clear();
+    names_.clear();
+    ids_.clear();
+    stack_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: a little-endian host blob (the gather never crosses hosts).
+//
+//   u32 magic 'TPFT'  u32 version
+//   u64 nameCount     { u64 len, bytes }*
+//   u64 eventCount    { i32 nameId, i32 phase, f64 tsMicros }*
+
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x54504654u; // "TPFT"
+constexpr std::uint32_t kTraceVersion = 1;
+
+template <typename T>
+void put(std::vector<std::byte>& out, const T& v) {
+    // resize + memcpy instead of insert(): GCC 12's -O3 inliner misreads the
+    // range insert of a small stack object as a buffer overflow (-Werror).
+    const std::size_t off = out.size();
+    out.resize(off + sizeof(T));
+    std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T take(const std::vector<std::byte>& in, std::size_t& off) {
+    if (off + sizeof(T) > in.size())
+        throw std::runtime_error("trace blob truncated");
+    T v;
+    std::memcpy(&v, in.data() + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+}
+
+struct RankEvents {
+    struct Event {
+        std::int32_t nameId;
+        std::int32_t phase;
+        double ts;
+    };
+    std::vector<std::string> names;
+    std::vector<Event> events;
+};
+
+RankEvents deserializeTrace(const std::vector<std::byte>& blob) {
+    std::size_t off = 0;
+    if (take<std::uint32_t>(blob, off) != kTraceMagic)
+        throw std::runtime_error("trace blob: bad magic");
+    if (take<std::uint32_t>(blob, off) != kTraceVersion)
+        throw std::runtime_error("trace blob: unsupported version");
+    RankEvents r;
+    const auto nNames = take<std::uint64_t>(blob, off);
+    for (std::uint64_t i = 0; i < nNames; ++i) {
+        const auto len = take<std::uint64_t>(blob, off);
+        if (off + len > blob.size())
+            throw std::runtime_error("trace blob truncated");
+        r.names.emplace_back(reinterpret_cast<const char*>(blob.data() + off),
+                             static_cast<std::size_t>(len));
+        off += len;
+    }
+    const auto nEvents = take<std::uint64_t>(blob, off);
+    for (std::uint64_t i = 0; i < nEvents; ++i) {
+        RankEvents::Event e;
+        e.nameId = take<std::int32_t>(blob, off);
+        e.phase = take<std::int32_t>(blob, off);
+        e.ts = take<double>(blob, off);
+        if (e.nameId < 0 || e.nameId >= static_cast<std::int32_t>(r.names.size()))
+            throw std::runtime_error("trace blob: name id out of range");
+        r.events.push_back(e);
+    }
+    return r;
+}
+
+} // namespace
+
+std::vector<std::byte> Trace::serialize(double epochSeconds) const {
+    TPF_ASSERT(stack_.empty(), "Trace::serialize with open spans");
+    std::vector<std::byte> out;
+    out.reserve(32 + events_.size() * 16);
+    put(out, kTraceMagic);
+    put(out, kTraceVersion);
+    put(out, static_cast<std::uint64_t>(names_.size()));
+    for (const auto& n : names_) {
+        put(out, static_cast<std::uint64_t>(n.size()));
+        const auto* p = reinterpret_cast<const std::byte*>(n.data());
+        out.insert(out.end(), p, p + n.size());
+    }
+    put(out, static_cast<std::uint64_t>(events_.size()));
+    for (const auto& e : events_) {
+        put(out, e.nameId);
+        put(out, e.phase);
+        put(out, (e.ts - epochSeconds) * 1e6); // microseconds, trace epoch
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON writer
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void writeChromeTrace(const std::string& path,
+                      const std::vector<std::vector<std::byte>>& perRank) {
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("cannot create trace file " + tmp + ": " +
+                                 std::strerror(errno));
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+    bool first = true;
+    auto sep = [&] {
+        if (!first) std::fputs(",\n", f);
+        first = false;
+    };
+    for (std::size_t rank = 0; rank < perRank.size(); ++rank) {
+        const RankEvents r = deserializeTrace(perRank[rank]);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":%zu,\"tid\":0,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"rank %zu\"}}",
+                     rank, rank);
+        for (const auto& e : r.events) {
+            sep();
+            if (e.phase == 0)
+                std::fprintf(f,
+                             "{\"ph\":\"B\",\"pid\":%zu,\"tid\":0,\"ts\":%.3f,"
+                             "\"cat\":\"tpf\",\"name\":\"%s\"}",
+                             rank, e.ts, jsonEscape(r.names[e.nameId]).c_str());
+            else
+                std::fprintf(f, "{\"ph\":\"E\",\"pid\":%zu,\"tid\":0,\"ts\":%.3f}",
+                             rank, e.ts);
+        }
+    }
+    std::fputs("\n]}\n", f);
+    const bool writeOk = std::fflush(f) == 0 && !std::ferror(f);
+    std::fclose(f);
+    if (!writeOk) throw std::runtime_error("short write on trace file " + tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        throw std::runtime_error("cannot publish trace file " + path + ": " +
+                                 ec.message());
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a strict little JSON parser (full well-formedness, so a trace
+// that chrome://tracing would reject fails here too) plus the B/E contract.
+
+namespace {
+
+/// Minimal JSON document model — enough to check well-formedness and walk
+/// the traceEvents array. Object keys keep insertion order via a vector.
+struct JsonValue {
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue* field(const std::string& key) const {
+        for (const auto& [k, v] : fields)
+            if (k == key) return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(const std::string& text) : s_(text) {}
+
+    JsonValue parseDocument() {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing content after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) {
+        throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                                 ": " + what);
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char* lit) {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue() {
+        skipWs();
+        JsonValue v;
+        switch (peek()) {
+            case '{': return parseObject();
+            case '[': return parseArray();
+            case '"':
+                v.kind = JsonValue::String;
+                v.str = parseString();
+                return v;
+            case 't':
+                if (!consumeLiteral("true")) fail("bad literal");
+                v.kind = JsonValue::Bool;
+                v.b = true;
+                return v;
+            case 'f':
+                if (!consumeLiteral("false")) fail("bad literal");
+                v.kind = JsonValue::Bool;
+                return v;
+            case 'n':
+                if (!consumeLiteral("null")) fail("bad literal");
+                return v;
+            default:
+                v.kind = JsonValue::Number;
+                v.num = parseNumber();
+                return v;
+        }
+    }
+
+    JsonValue parseObject() {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.fields.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray() {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+                    for (int i = 0; i < 4; ++i)
+                        if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+                            fail("bad \\u escape");
+                    // Validation only: keep the escape verbatim.
+                    out += "\\u";
+                    out.append(s_, pos_, 4);
+                    pos_ += 4;
+                    break;
+                }
+                default: fail("bad escape character");
+            }
+        }
+    }
+
+    double parseNumber() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0) fail("bad number");
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) fail("bad number fraction");
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+            if (digits() == 0) fail("bad number exponent");
+        }
+        return std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+TraceCheck checkFail(std::string msg) {
+    TraceCheck c;
+    c.message = std::move(msg);
+    return c;
+}
+
+} // namespace
+
+TraceCheck validateTraceFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return checkFail("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    JsonValue doc;
+    try {
+        doc = JsonParser(text).parseDocument();
+    } catch (const std::exception& e) {
+        return checkFail(path + ": " + e.what());
+    }
+    if (doc.kind != JsonValue::Object) return checkFail("top level is not an object");
+    const JsonValue* events = doc.field("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Array)
+        return checkFail("missing traceEvents array");
+
+    TraceCheck out;
+    std::map<int, std::vector<std::string>> stacks; // pid -> open span names
+    std::map<int, double> lastTs;                   // pid -> last event ts
+    std::set<int> pids;
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < events->items.size(); ++i) {
+        const JsonValue& e = events->items[i];
+        const std::string at = "event " + std::to_string(i);
+        if (e.kind != JsonValue::Object) return checkFail(at + ": not an object");
+        const JsonValue* ph = e.field("ph");
+        const JsonValue* pid = e.field("pid");
+        if (ph == nullptr || ph->kind != JsonValue::String)
+            return checkFail(at + ": missing ph");
+        if (pid == nullptr || pid->kind != JsonValue::Number)
+            return checkFail(at + ": missing pid");
+        const int p = static_cast<int>(pid->num);
+        if (ph->str == "M") continue;
+        if (ph->str != "B" && ph->str != "E")
+            return checkFail(at + ": unexpected phase '" + ph->str + "'");
+        const JsonValue* ts = e.field("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Number)
+            return checkFail(at + ": missing ts");
+        const auto [it, inserted] = lastTs.emplace(p, ts->num);
+        if (!inserted) {
+            if (ts->num < it->second)
+                return checkFail(at + ": timestamps not monotonic for pid " +
+                                 std::to_string(p));
+            it->second = ts->num;
+        }
+        pids.insert(p);
+        ++out.events;
+        if (ph->str == "B") {
+            const JsonValue* name = e.field("name");
+            if (name == nullptr || name->kind != JsonValue::String)
+                return checkFail(at + ": B event without name");
+            stacks[p].push_back(name->str);
+            names.insert(name->str);
+        } else {
+            auto& st = stacks[p];
+            if (st.empty())
+                return checkFail(at + ": E event without open span on pid " +
+                                 std::to_string(p));
+            st.pop_back();
+        }
+    }
+    for (const auto& [p, st] : stacks)
+        if (!st.empty())
+            return checkFail("pid " + std::to_string(p) + " ends with " +
+                             std::to_string(st.size()) + " unclosed span(s), first '" +
+                             st.front() + "'");
+    out.ranks = static_cast<int>(pids.size());
+    out.spanNames.assign(names.begin(), names.end());
+    out.ok = true;
+    out.message = "ok";
+    return out;
+}
+
+} // namespace tpf::obs

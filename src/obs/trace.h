@@ -1,0 +1,124 @@
+#pragma once
+/// \file trace.h
+/// Low-overhead scoped tracing spans with a Chrome trace-event JSON backend.
+///
+/// Recording model:
+///  - Each rank owns one Trace (installed on the rank's loop thread via
+///    setThreadTrace(); ranks are threads under the thread transport and
+///    forked processes under shm, so a thread-local sink is per-rank either
+///    way).
+///  - ScopedSpan / TPF_SPAN record a begin event on construction and an end
+///    event on destruction. With no sink installed the cost is one
+///    thread-local read and a branch; with TPF_OBS_NO_SPANS defined the
+///    macro compiles away entirely.
+///  - Events append to a flat in-memory vector (name-interned, 16 bytes per
+///    event) and are serialized + gathered to rank 0 once, after the run —
+///    nothing is written, locked, or communicated inside the step loop,
+///    which is the non-perturbation argument (docs/OBSERVABILITY.md).
+///
+/// Output: writeChromeTrace() merges the per-rank blobs from
+/// vmpi::Comm::gatherAllBytes into one JSON file in the Chrome trace-event
+/// format ("traceEvents" with ph:B/E duration events), loadable in Perfetto
+/// or chrome://tracing. Each rank appears as its own pid with a
+/// "process_name" metadata record; timestamps are microseconds relative to a
+/// common epoch so step boundaries line up across ranks.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tpf::obs {
+
+/// Per-rank span recorder. Not thread-safe: record only from the owning
+/// rank's loop thread (pool workers never carry spans — kernels are banned
+/// from obs calls by tpf-lint's obs-in-kernels rule).
+class Trace {
+public:
+    void begin(const char* name);
+    void end();
+
+    std::size_t eventCount() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    int openSpans() const { return static_cast<int>(stack_.size()); }
+    /// Timestamp of the first recorded event (0 when empty); used to pick
+    /// the common epoch as the min across ranks.
+    double firstTs() const;
+
+    /// Flatten to a byte blob for the rank-0 gather. Timestamps are shifted
+    /// by -epochSeconds so the merged file starts near t = 0.
+    std::vector<std::byte> serialize(double epochSeconds) const;
+
+    void clear();
+
+private:
+    struct Event {
+        std::int32_t nameId;
+        std::int32_t phase; ///< 0 = begin, 1 = end
+        double ts;          ///< obs::wallNow() seconds
+    };
+
+    int intern(const char* name);
+
+    std::vector<Event> events_;
+    std::vector<std::string> names_;
+    std::map<std::string, int> ids_; // ordered: no unordered iteration
+    std::vector<int> stack_;         ///< open span name ids (balance check)
+};
+
+/// The calling thread's installed span sink (nullptr = tracing off).
+Trace* threadTrace();
+/// Install \p t as the calling thread's sink; pass nullptr to uninstall.
+void setThreadTrace(Trace* t);
+
+/// RAII span: begin on construction, end on destruction. Captures the sink
+/// once, so install/uninstall while a span is open is safe.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name) : t_(threadTrace()) {
+        if (t_) t_->begin(name);
+    }
+    ~ScopedSpan() {
+        if (t_) t_->end();
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    Trace* t_;
+};
+
+// Convenience macro for instrumenting a scope; compiled to nothing when
+// TPF_OBS_NO_SPANS is defined so hot paths can prove spans cost zero.
+#ifdef TPF_OBS_NO_SPANS
+#define TPF_SPAN(name) ((void)0)
+#else
+#define TPF_OBS_CONCAT2(a, b) a##b
+#define TPF_OBS_CONCAT(a, b) TPF_OBS_CONCAT2(a, b)
+#define TPF_SPAN(name) ::tpf::obs::ScopedSpan TPF_OBS_CONCAT(tpfObsSpan_, __LINE__)(name)
+#endif
+
+/// Write the merged Chrome trace-event JSON for the per-rank blobs produced
+/// by Trace::serialize() (rank index = position in \p perRank = pid in the
+/// file). Staged via <path>.tmp + rename. Throws std::runtime_error on I/O
+/// failure or a malformed blob.
+void writeChromeTrace(const std::string& path,
+                      const std::vector<std::vector<std::byte>>& perRank);
+
+/// Result of validating a written trace file (tpf-chk trace / smoke_obs).
+struct TraceCheck {
+    bool ok = false;
+    std::string message;          ///< "ok" or the first problem found
+    int ranks = 0;                ///< distinct pids carrying duration events
+    long long events = 0;         ///< B/E duration events
+    std::vector<std::string> spanNames; ///< sorted unique span names
+};
+
+/// Parse \p path as JSON (full well-formedness check, not just our writer's
+/// shape) and verify the trace contract: a traceEvents array, every B paired
+/// with a following E per pid in stack order, and per-pid non-decreasing
+/// timestamps. Never throws; problems land in TraceCheck::message.
+TraceCheck validateTraceFile(const std::string& path);
+
+} // namespace tpf::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/clock.h"
+#include "obs/fanout.h"
+
 namespace tpf::util {
 
 namespace {
@@ -74,6 +77,28 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::parallelFor(int n, const std::function<void(int)>& fn) {
     if (n <= 0) return;
+    // Fan-out telemetry (obs/fanout.h): the caller's — i.e. the rank loop
+    // thread's — installed stats, if any. Nested calls run inside an outer
+    // task that is already being timed, so they stay uninstrumented.
+    obs::FanoutStats* stats =
+        tlsActivePool == this ? nullptr : obs::threadFanoutStats();
+    if (stats == nullptr) {
+        parallelForImpl(n, fn);
+        return;
+    }
+    const double t0 = obs::wallNow();
+    const std::function<void(int)> timed = [&fn, stats](int i) {
+        const double s = obs::wallNow();
+        fn(i);
+        obs::atomicAdd(stats->busySeconds, obs::wallNow() - s);
+        stats->tasks.fetch_add(1, std::memory_order_relaxed);
+    };
+    parallelForImpl(n, timed);
+    stats->fanouts.fetch_add(1, std::memory_order_relaxed);
+    obs::atomicAdd(stats->wallSeconds, obs::wallNow() - t0);
+}
+
+void ThreadPool::parallelForImpl(int n, const std::function<void(int)>& fn) {
     if (nThreads_ == 1 || n == 1 || tlsActivePool == this) {
         // Serial pool, single task, or nested call: run inline.
         for (int i = 0; i < n; ++i) fn(i);

@@ -42,13 +42,16 @@ public:
     /// until all n tasks completed. The caller participates. If any task
     /// throws, the first exception is rethrown here after the fan-out
     /// drained; remaining unstarted tasks are skipped. Reentrant calls from
-    /// inside a task execute inline (see file comment).
+    /// inside a task execute inline (see file comment). When the caller has
+    /// obs fan-out stats installed (obs/fanout.h), wall and per-task busy
+    /// times are accumulated there — telemetry only, never field state.
     void parallelFor(int n, const std::function<void(int)>& fn);
 
     /// Hardware concurrency with a floor of 1.
     static int hardwareThreads();
 
 private:
+    void parallelForImpl(int n, const std::function<void(int)>& fn);
     void workerLoop();
     void runTasks(const std::function<void(int)>& fn, int n);
 

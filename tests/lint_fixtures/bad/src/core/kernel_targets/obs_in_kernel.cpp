@@ -1,0 +1,14 @@
+// Seeded tpf-lint violations for the obs-in-kernels rule. This file is NEVER
+// compiled; it exists so the tpf_lint_negative ctest (and CI) can prove the
+// linter still rejects telemetry hooks smuggled into a kernel target, and so
+// test_lint.cpp can pin that exactly this rule — and no other — fires here.
+
+#include "obs/trace.h" // rule: obs-in-kernels (obs include in a kernel TU)
+
+void sweepSlab(double* p, int n) {
+    TPF_SPAN("slab-inner"); // rule: obs-in-kernels (span macro per call)
+    for (int i = 0; i < n; ++i) {
+        obs::threadTrace(); // rule: obs-in-kernels (obs:: call per cell)
+        p[i] += 1.0;
+    }
+}

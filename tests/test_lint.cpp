@@ -185,6 +185,15 @@ TEST(LintNondet, PerfAndAppDirsAreExempt) {
         lintSource("src/app/tpf_sim.cpp", "long s = time(nullptr);\n").empty());
 }
 
+TEST(LintNondet, ObsIsTheSanctionedWallClockHome) {
+    // src/obs wraps the tree's only steady_clock read (obs::wallNow); the
+    // rule exempts it explicitly so the telemetry layer needs no
+    // suppression comments.
+    EXPECT_TRUE(lintSource("src/obs/clock.cpp",
+                           "auto t = std::chrono::steady_clock::now();\n")
+                    .empty());
+}
+
 // ---------------------------------------------------------------------------
 // collective-in-conditional
 // ---------------------------------------------------------------------------
@@ -356,6 +365,67 @@ TEST(LintAssert, TpfAssertAndStaticAssertAreFine) {
 }
 
 // ---------------------------------------------------------------------------
+// obs-in-kernels
+// ---------------------------------------------------------------------------
+
+TEST(LintObsInKernels, FlagsSpanAndObsCallsInKernelTargets) {
+    const auto fs = lintSource("src/core/kernel_targets/kernels_avx2.cpp",
+                               "TPF_SPAN(\"cell\");\n"
+                               "obs::threadTrace();\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "obs-in-kernels");
+    EXPECT_EQ(fs[1].rule, "obs-in-kernels");
+    EXPECT_NE(fs[0].hint.find("caller"), std::string::npos);
+}
+
+TEST(LintObsInKernels, FlagsObsIncludeInKernelBodyHeader) {
+    // The include path lives inside a string literal, which the scanner
+    // blanks — the rule must match the raw line for this pattern.
+    const auto fs = lintSource("src/core/phi_kernel_multicell_body.h",
+                               "#include \"obs/trace.h\"\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "obs-in-kernels");
+    EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(LintObsInKernels, QualifiedObsCallIsAlsoCaught) {
+    const auto fs = lintSource("src/core/kernel_targets/kernels_scalar.cpp",
+                               "tpf::obs::ScopedSpan s(\"k\");\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "obs-in-kernels");
+}
+
+TEST(LintObsInKernels, TimeloopAndSweepCallersAreFine) {
+    // Functor-level instrumentation is the sanctioned pattern: the rule
+    // scopes to kernel targets and *_body.h headers only.
+    EXPECT_TRUE(lintSource("src/core/timeloop.cpp",
+                           "obs::ScopedSpan span(name);\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/core/slab_sweep.cpp",
+                           "#include \"obs/fanout.h\"\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/util/thread_pool.cpp",
+                           "obs::FanoutStats* stats = obs::threadFanoutStats();\n")
+                    .empty());
+}
+
+TEST(LintObsInKernels, UnrelatedIdentifiersDoNotTrip) {
+    EXPECT_TRUE(lintSource("src/core/kernel_targets/kernels_sse2.cpp",
+                           "double jacobs = x;\n"
+                           "observer.note(x);\n"
+                           "int myobs = 0;\n")
+                    .empty());
+}
+
+TEST(LintObsInKernels, SuppressionCommentSilences) {
+    const auto fs = lintSource(
+        "src/core/kernel_targets/kernels_avx512.cpp",
+        "obs::threadTrace(); "
+        "// tpf-lint: allow(obs-in-kernels) -- probe scaffolding\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Engine: rule selection, formatting, scanner edge cases
 // ---------------------------------------------------------------------------
 
@@ -433,5 +503,22 @@ TEST(LintFixture, SeededViolationFileTriggersEveryRule) {
                                         "fastmath", "nondeterminism",
                                         "raw-intrinsics",
                                         "unordered-iteration"}));
+}
+
+TEST(LintFixture, SeededObsKernelFixtureTriggersOnlyObsRule) {
+    const std::string path =
+        std::string(TPF_LINT_FIXTURE_DIR) +
+        "/bad/src/core/kernel_targets/obs_in_kernel.cpp";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto fs =
+        lintSource("src/core/kernel_targets/obs_in_kernel.cpp", ss.str());
+    // Exactly the include, the span macro and the obs:: call — and nothing
+    // from any other rule, proving the fixture stays single-purpose.
+    EXPECT_EQ(rulesOf(fs), (std::vector<std::string>{"obs-in-kernels",
+                                                     "obs-in-kernels",
+                                                     "obs-in-kernels"}));
 }
 

@@ -345,6 +345,30 @@ TEST(BenchJson, CommittedTrajectoryIsValid) {
         << "latest BENCH is missing the bench_mesh overhead fraction";
     EXPECT_LT(overhead, 0.1)
         << "in-situ extraction at cadence 100 exceeds 10% of solver time";
+
+    // The latest trajectory must also carry the telemetry-overhead proof
+    // (bench_obs): with tracing + metrics + fan-out stats fully on, step
+    // throughput stays within 2% of the uninstrumented run — the contract
+    // that makes always-on telemetry viable for multi-day runs
+    // (docs/OBSERVABILITY.md).
+    bool haveObsBaseline = false, haveObsInstrumented = false;
+    double obsOverhead = -1.0;
+    for (const auto& en : prev.entries) {
+        if (en.bench != "bench_obs") continue;
+        if (en.variant.rfind("baseline ", 0) == 0) haveObsBaseline = true;
+        if (en.variant.rfind("instrumented ", 0) == 0)
+            haveObsInstrumented = true;
+        if (en.variant == "overhead fraction trace+metrics t1")
+            obsOverhead = en.mlups;
+    }
+    EXPECT_TRUE(haveObsBaseline)
+        << "latest BENCH is missing the bench_obs obs-off baseline";
+    EXPECT_TRUE(haveObsInstrumented)
+        << "latest BENCH is missing the bench_obs instrumented run";
+    ASSERT_GT(obsOverhead, 0.0)
+        << "latest BENCH is missing the bench_obs overhead fraction";
+    EXPECT_LT(obsOverhead, 0.02)
+        << "telemetry overhead exceeds the 2% non-perturbation budget";
 }
 
 } // namespace
